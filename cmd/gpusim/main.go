@@ -1,0 +1,78 @@
+// Command gpusim inspects the simulated Tesla K80: it runs representative
+// kernels against a chosen dataset and prints the cost breakdown the
+// simulator derives (transactions, divergence, conflict rates), which is the
+// raw material behind the GPU columns of the reproduced tables.
+//
+// Usage:
+//
+//	gpusim -dataset news -maxn 2000 [-combine]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/gpusim"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "covtype", "dataset name")
+		maxN    = flag.Int("maxn", 2000, "generated examples")
+		combine = flag.Bool("combine", false, "enable warp-shuffle conflict combining")
+		warpPer = flag.Bool("warp-per-example", false, "cooperative warp-per-example kernel layout")
+		shared  = flag.Bool("shared", false, "per-block shared-memory model replicas")
+		step    = flag.Float64("step", 0.1, "SGD step for the async kernel")
+	)
+	flag.Parse()
+
+	spec, err := data.Lookup(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ds := data.Generate(spec.Scaled(float64(*maxN) / float64(spec.N)))
+	dev := gpusim.K80()
+	fmt.Printf("device: %s — %d MPs x %d cores, %d resident warps, %.0f GB/s\n",
+		dev.Spec.Name, dev.Spec.MPs, dev.Spec.CoresPerMP,
+		dev.Spec.MaxResidentWarps(), dev.Spec.GlobalBandwidthBPS/1e9)
+	fmt.Printf("dataset: %s\n\n", data.ComputeStats(ds))
+
+	// Synchronous kernels.
+	spmv := dev.CostSpMV(ds.X)
+	spmvT := dev.CostSpMVT(ds.X)
+	fmt.Printf("SpMV  : %10.6fs  %12d tx  %14.0f bytes  divergence x%.2f\n",
+		spmv.Seconds, spmv.Transactions, spmv.Bytes, spmv.LockstepOps/spmv.Flops)
+	fmt.Printf("SpMV^T: %10.6fs  %12d tx  %14.0f bytes\n",
+		spmvT.Seconds, spmvT.Transactions, spmvT.Bytes)
+
+	// Asynchronous Hogwild kernel with conflict accounting.
+	m := model.NewLR(ds.D())
+	e := core.NewGPUHogwild(m, ds, *step)
+	e.Combine = *combine
+	e.WarpPerExample = *warpPer
+	e.SharedMemory = *shared
+	w := m.InitParams(1)
+	sec := e.RunEpoch(w)
+	st := e.LastStats()
+	fmt.Printf("\nasync epoch: %.6fs modeled (%d rounds, %d resident warps)\n",
+		sec, st.Rounds, e.MaxWarps)
+	fmt.Printf("updates %d | lost intra-warp %d (%.1f%%) | lost inter-warp %d (%.1f%%) | applied %d\n",
+		st.Updates,
+		st.LostIntra, pct(st.LostIntra, st.Updates),
+		st.LostInter, pct(st.LostInter, st.Updates),
+		st.Applied)
+	fmt.Printf("kernel: %d tx, %.0f bytes, divergence x%.2f\n",
+		st.Cost.Transactions, st.Cost.Bytes, st.Cost.LockstepOps/st.Cost.Flops)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

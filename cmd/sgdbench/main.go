@@ -1,0 +1,87 @@
+// Command sgdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sgdbench -experiment table1|table2|table3|fig6|fig7|fig8|fig9|all \
+//	         [-maxn 4000] [-datasets covtype,w8a] [-tasks lr,svm,mlp] \
+//	         [-epochs 300] [-tol 0.01] [-v]
+//
+// Times are modeled device seconds for the paper's hardware (2x Xeon
+// E5-2660 v4, Tesla K80) priced at the full Table I dataset sizes;
+// statistical efficiency (epochs) is measured by actually running every
+// configuration at the generated scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|table2|table3|fig6|fig7|fig8|fig9|tolsweep|all")
+		maxN       = flag.Int("maxn", 4000, "max examples generated per dataset")
+		datasets   = flag.String("datasets", "", "comma-separated dataset filter (default all)")
+		tasks      = flag.String("tasks", "", "comma-separated task filter: lr,svm,mlp (default all)")
+		epochs     = flag.Int("epochs", 300, "max epochs per convergence drive")
+		tol        = flag.Float64("tol", 0.01, "convergence tolerance relative to the optimal loss")
+		verbose    = flag.Bool("v", false, "log progress")
+		curveDir   = flag.String("curves", "", "directory for Fig 7 loss-curve CSVs")
+		repeats    = flag.Int("repeats", 1, "repetitions of each asynchronous drive (paper: >=10)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		MaxN:      *maxN,
+		MaxEpochs: *epochs,
+		Tol:       *tol,
+		Verbose:   *verbose,
+		Out:       os.Stdout,
+		CurveDir:  *curveDir,
+		Repeats:   *repeats,
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if *tasks != "" {
+		opts.Tasks = strings.Split(*tasks, ",")
+	}
+	h := bench.New(opts)
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			h.Table1()
+		case "table2":
+			h.Table2()
+		case "table3":
+			h.Table3()
+		case "fig6":
+			h.Fig6()
+		case "fig7":
+			h.Fig7()
+		case "fig8":
+			h.Fig8()
+		case "fig9":
+			h.Fig9()
+		case "tolsweep":
+			h.TolSweep()
+		default:
+			fmt.Fprintf(os.Stderr, "sgdbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"} {
+			run(name)
+		}
+		return
+	}
+	for _, name := range strings.Split(*experiment, ",") {
+		run(name)
+	}
+}

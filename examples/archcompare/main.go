@@ -1,0 +1,91 @@
+// archcompare races the paper's two headline configurations — synchronous
+// SGD on the (simulated) GPU versus asynchronous Hogwild on the multi-core
+// CPU — from the same initial model on one dataset, and prints the loss-
+// versus-time trajectories (a single panel of the paper's Fig. 7).
+//
+//	go run ./examples/archcompare -dataset real-sim -task svm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "real-sim", "dataset name")
+		task = flag.String("task", "svm", "lr or svm")
+		maxN = flag.Int("maxn", 2500, "generated examples")
+	)
+	flag.Parse()
+
+	spec, err := parsgd.LookupDataset(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := parsgd.GenerateDataset(spec.Scaled(float64(*maxN) / float64(spec.N)))
+	factor := float64(spec.N) / float64(ds.N())
+
+	var m parsgd.BatchModel
+	switch *task {
+	case "lr":
+		m = parsgd.NewLR(ds.D())
+	case "svm":
+		m = parsgd.NewSVM(ds.D())
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+	init := m.InitParams(1)
+	opt := parsgd.EstimateOptLoss(m, ds, 30)
+
+	// Synchronous SGD on the simulated K80, priced at full dataset scale.
+	gpu := parsgd.NewGPUBackend()
+	gpu.WorkScale = factor
+	syncStep := parsgd.TuneStep(func(s float64) parsgd.Engine {
+		return parsgd.NewSyncEngine(gpu, m, ds, s)
+	}, m, ds, init, 8)
+	syncEng := parsgd.NewSyncEngine(gpu, m, ds, syncStep)
+
+	// Asynchronous Hogwild on 56 modeled CPU threads.
+	asyncStep := parsgd.TuneStep(func(s float64) parsgd.Engine {
+		return parsgd.NewHogwildEngine(m, ds, s, 1)
+	}, m, ds, init, 5)
+	asyncEng := parsgd.NewHogwildEngine(m, ds, asyncStep, 56)
+	asyncEng.CostScale = factor
+
+	opts := parsgd.DriverOpts{OptLoss: opt, MaxEpochs: 400}
+	ws := append([]float64(nil), init...)
+	sres := parsgd.RunToConvergence(syncEng, m, ds, ws, opts)
+	wa := append([]float64(nil), init...)
+	ares := parsgd.RunToConvergence(asyncEng, m, ds, wa, opts)
+
+	fmt.Printf("%s on %s — loss vs modeled time (optimum %.4f)\n", *task, *name, opt)
+	fmt.Printf("%-22s | %-22s\n", "sync/gpu", "async/cpu-par")
+	n := len(sres.Curve)
+	if len(ares.Curve) > n {
+		n = len(ares.Curve)
+	}
+	for i := 0; i < n; i += 1 + n/12 { // ~12 printed samples
+		line := func(c []parsgd.LossPoint) string {
+			if i >= len(c) {
+				return fmt.Sprintf("%22s", "")
+			}
+			return fmt.Sprintf("%9.3fms  %8.4f", c[i].Seconds*1e3, c[i].Loss)
+		}
+		fmt.Printf("%s | %s\n", line(sres.Curve), line(ares.Curve))
+	}
+	st, at := sres.SecondsTo[0.01], ares.SecondsTo[0.01]
+	fmt.Printf("\nto 1%%: sync/gpu %.2fms, async/cpu %.2fms -> winner: ", st*1e3, at*1e3)
+	switch {
+	case st < at:
+		fmt.Println("sync/gpu")
+	case at < st:
+		fmt.Println("async/cpu")
+	default:
+		fmt.Println("tie")
+	}
+	fmt.Println("\n(The paper's Fig. 7 finding: the winner flips with task and dataset.)")
+}

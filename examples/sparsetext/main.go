@@ -1,0 +1,54 @@
+// sparsetext trains a linear SVM on a news20-like corpus (1.35M features,
+// 0.03% density) with Hogwild and sweeps the thread count, reproducing the
+// paper's core asynchronous finding: on sparse data parallelism scales,
+// while the same sweep on dense covtype makes things worse.
+//
+//	go run ./examples/sparsetext
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, name := range []string{"news", "covtype"} {
+		spec, err := parsgd.LookupDataset(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds := parsgd.GenerateDataset(spec.Scaled(2000.0 / float64(spec.N)))
+		factor := float64(spec.N) / float64(ds.N())
+		m := parsgd.NewSVM(ds.D())
+		init := m.InitParams(1)
+		step := parsgd.TuneStep(func(s float64) parsgd.Engine {
+			return parsgd.NewHogwildEngine(m, ds, s, 1)
+		}, m, ds, init, 5)
+		opt := parsgd.EstimateOptLoss(m, ds, 30)
+
+		fmt.Printf("%s (density %.2f%%), SVM, step %g\n",
+			name, parsgd.DatasetStatsOf(ds).DensityPct, step)
+		fmt.Printf("%8s %14s %10s %14s\n", "threads", "time/iter", "epochs", "time-to-1%")
+		var base float64
+		for _, threads := range []int{1, 4, 14, 28, 56} {
+			e := parsgd.NewHogwildEngine(m, ds, step, threads)
+			e.CostScale = factor
+			w := append([]float64(nil), init...)
+			res := parsgd.RunToConvergence(e, m, ds, w, parsgd.DriverOpts{
+				OptLoss: opt, MaxEpochs: 300,
+			})
+			ttc := res.SecondsTo[0.01]
+			if threads == 1 {
+				base = res.SecPerEpoch
+			}
+			fmt.Printf("%8d %12.2fms %10d %12.2fms   (iter speedup %.2fx)\n",
+				threads, res.SecPerEpoch*1e3, res.EpochsTo[0.01], ttc*1e3,
+				base/res.SecPerEpoch)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper Table III: parallel Hogwild wins on sparse news (~6x) and")
+	fmt.Println("loses to one thread on dense covtype — cache-coherence conflicts.")
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps harness tests fast: two datasets, small N, short budgets.
+func tinyOpts() Options {
+	return Options{
+		MaxN:          600,
+		Datasets:      []string{"covtype", "w8a"},
+		Tasks:         []string{"lr"},
+		MaxEpochs:     60,
+		SyncMaxEpochs: 400,
+		ProbeEpochs:   3,
+		OptEpochs:     15,
+	}
+}
+
+func TestTable1ReportsAllDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts()
+	opts.Datasets = nil // all five
+	opts.Out = &buf
+	h := New(opts)
+	rows := h.Table1()
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Native.Examples == 0 || r.Native.Features == 0 {
+			t.Fatalf("empty stats for %s", r.Native.Name)
+		}
+		if r.MLP.Features > r.Native.Features {
+			t.Fatalf("%s: grouping increased width", r.Native.Name)
+		}
+	}
+	out := buf.String()
+	for _, name := range []string{"covtype", "w8a", "real-sim", "rcv1", "news"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2ShapeInvariants(t *testing.T) {
+	h := New(tinyOpts())
+	rows := h.Table2()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Paper Table II ordering: gpu <= cpu-par < cpu-seq per iteration.
+		if !(r.TPI[0] < r.TPI[2] && r.TPI[2] < r.TPI[1]) {
+			t.Errorf("%s/%s: tpi ordering gpu=%v seq=%v par=%v",
+				r.Task, r.Dataset, r.TPI[0], r.TPI[1], r.TPI[2])
+		}
+		if r.SpeedupParGPU <= 1 {
+			t.Errorf("%s/%s: GPU not faster than parallel CPU (%.2f)", r.Task, r.Dataset, r.SpeedupParGPU)
+		}
+		if r.SpeedupSeqPar <= 1 {
+			t.Errorf("%s/%s: parallel not faster than sequential (%.2f)", r.Task, r.Dataset, r.SpeedupSeqPar)
+		}
+		if r.Epochs == 0 {
+			t.Errorf("%s/%s: zero epochs", r.Task, r.Dataset)
+		}
+	}
+}
+
+func TestTable3ShapeInvariants(t *testing.T) {
+	h := New(tinyOpts())
+	rows := h.Table3()
+	for _, r := range rows {
+		for di, tpi := range r.TPI {
+			if tpi <= 0 {
+				t.Errorf("%s/%s device %d: non-positive tpi", r.Task, r.Dataset, di)
+			}
+		}
+		// Time-to-convergence must be consistent with epochs.
+		for di := range r.TTC {
+			if r.Epochs[di] < 0 && !math.IsInf(r.TTC[di], 1) {
+				t.Errorf("%s/%s device %d: unreached but finite ttc", r.Task, r.Dataset, di)
+			}
+		}
+	}
+	// covtype (dense): parallel CPU must iterate slower than sequential.
+	for _, r := range rows {
+		if r.Dataset == "covtype" && r.SpeedupSeqPar >= 1 {
+			t.Errorf("dense async: seq/par speedup %.2f, want < 1", r.SpeedupSeqPar)
+		}
+	}
+}
+
+func TestFig6SpeedupGrowsWithArchitecture(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxN = 256
+	h := New(opts)
+	points := h.Fig6()
+	if len(points) != len(Fig6Architectures) {
+		t.Fatalf("%d points", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.SpeedupSeqPar <= first.SpeedupSeqPar {
+		t.Errorf("seq/par speedup did not grow with the net: %.2f -> %.2f",
+			first.SpeedupSeqPar, last.SpeedupSeqPar)
+	}
+	for _, p := range points {
+		if p.SpeedupSeqPar <= 0 || p.SpeedupParGPU <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", p.Arch, p)
+		}
+	}
+}
+
+func TestFig8RowsPopulated(t *testing.T) {
+	h := New(tinyOpts())
+	rows := h.Fig8()
+	if len(rows) != 2 { // lr x {covtype, w8a}
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.OursSync <= 0 || r.OursAsync <= 0 || r.Framework <= 0 {
+			t.Errorf("%s/%s: non-positive speedups %+v", r.Task, r.Dataset, r)
+		}
+		if r.FrameworkName != "bidmach" {
+			t.Errorf("framework = %s", r.FrameworkName)
+		}
+	}
+}
+
+func TestFig9TFSpeedupBelowOurs(t *testing.T) {
+	opts := tinyOpts()
+	opts.Tasks = []string{"mlp"}
+	opts.Datasets = []string{"w8a"}
+	h := New(opts)
+	rows := h.Fig9()
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Framework >= r.OursSync {
+		t.Errorf("TF speedup %.2f >= ours %.2f (paper Fig. 9 shows ours superior)",
+			r.Framework, r.OursSync)
+	}
+}
+
+func TestTolSweepMonotone(t *testing.T) {
+	opts := tinyOpts()
+	opts.Datasets = []string{"w8a"}
+	h := New(opts)
+	rows := h.TolSweep()
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	// Tighter tolerances can never be reached sooner than looser ones.
+	order := []float64{0.10, 0.05, 0.02, 0.01}
+	for _, m := range []map[float64]float64{r.Sync, r.Async} {
+		for i := 1; i < len(order); i++ {
+			if m[order[i]] < m[order[i-1]] {
+				t.Fatalf("time to %v%% (%v) before time to %v%% (%v)",
+					order[i]*100, m[order[i]], order[i-1]*100, m[order[i-1]])
+			}
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxN != 4000 || o.MaxEpochs != 300 || o.SyncMaxEpochs != 6000 {
+		t.Fatalf("defaults %+v", o)
+	}
+	if len(o.Datasets) != 5 || len(o.Tasks) != 3 {
+		t.Fatalf("default sets %+v", o)
+	}
+	if o.Tol != 0.01 {
+		t.Fatalf("tol %v", o.Tol)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtMS(0.0012) != "1.20ms" {
+		t.Fatalf("fmtMS small = %s", fmtMS(0.0012))
+	}
+	if fmtMS(2.5) != "2.50s" {
+		t.Fatalf("fmtMS mid = %s", fmtMS(2.5))
+	}
+	if fmtMS(250) != "250s" {
+		t.Fatalf("fmtMS large = %s", fmtMS(250))
+	}
+	if fmtMS(math.Inf(1)) != "inf" {
+		t.Fatal("fmtMS inf")
+	}
+	if fmtEpochs(-1) != "inf" || fmtEpochs(12) != "12" {
+		t.Fatal("fmtEpochs")
+	}
+	if fmtRatio(math.NaN()) != "-" {
+		t.Fatal("fmtRatio NaN")
+	}
+}

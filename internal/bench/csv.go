@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// writeCurveCSV persists one Fig. 7 panel as
+// <dir>/fig7_<task>_<dataset>.csv with columns engine, epoch, seconds, loss.
+func writeCurveCSV(dir string, c Fig7Curve) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fig7_%s_%s.csv", c.Task, c.Dataset))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"engine", "epoch", "seconds", "loss"}); err != nil {
+		f.Close()
+		return err
+	}
+	emit := func(engine string, pts []core.LossPoint) error {
+		for _, p := range metrics.Downsample(pts, 200) {
+			rec := []string{
+				engine,
+				strconv.Itoa(p.Epoch),
+				strconv.FormatFloat(p.Seconds, 'g', -1, 64),
+				strconv.FormatFloat(p.Loss, 'g', -1, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("sync-gpu", c.SyncGPU); err != nil {
+		f.Close()
+		return err
+	}
+	if err := emit("async-cpu", c.AsyncCPU); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

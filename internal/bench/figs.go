@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/frameworks"
+	"repro/internal/model"
+)
+
+// Fig6Point is one architecture of the paper's Fig. 6: parallel-CPU speedup
+// over sequential CPU and GPU speedup over parallel CPU for synchronous MLP
+// on real-sim, as the net grows past ViennaCL's matmul-parallelisation
+// threshold.
+type Fig6Point struct {
+	Arch          string
+	Params        int
+	SpeedupSeqPar float64 // TPI(cpu-seq) / TPI(cpu-par)
+	SpeedupParGPU float64 // TPI(cpu-par) / TPI(gpu)
+}
+
+// Fig6Architectures are the sweep points: the paper's real-sim architecture
+// first, then progressively larger fully-connected nets.
+var Fig6Architectures = [][]int{
+	{50, 10, 5, 2},
+	{100, 20, 10, 2},
+	{200, 50, 20, 2},
+	{500, 200, 50, 2},
+	{1000, 500, 100, 2},
+	{2000, 1000, 200, 2},
+}
+
+// Fig6 reproduces the paper's Fig. 6: time-per-iteration speedups on
+// real-sim for growing MLP architectures. Only hardware efficiency matters,
+// so each configuration runs a single priced epoch.
+func (h *Harness) Fig6() []Fig6Point {
+	spec, err := data.Lookup("real-sim")
+	if err != nil {
+		panic(err)
+	}
+	// A small slice is enough to exercise the kernels; costs are priced
+	// at the full dataset via CostScale.
+	n := 512
+	if n > h.opts.MaxN {
+		n = h.opts.MaxN
+	}
+	scaled := spec.Scaled(float64(n) / float64(spec.N))
+	base := data.Generate(scaled)
+	factor := float64(spec.N) / float64(base.N())
+
+	var points []Fig6Point
+	for _, widths := range Fig6Architectures {
+		grouped, err := data.GroupFeatures(base, widths[0])
+		if err != nil {
+			panic(err)
+		}
+		m := model.NewMLP(widths)
+		init := m.InitParams(1)
+		var times [3]float64
+		for di, dev := range table2Devices {
+			var b core.Engine
+			switch dev {
+			case "cpu-seq":
+				e := core.NewSync(newCPUBackend(1, 1), m, grouped, 0.1)
+				e.CostScale = factor
+				b = e
+			case "cpu-par":
+				e := core.NewSync(newCPUBackend(56, 1), m, grouped, 0.1)
+				e.CostScale = factor
+				b = e
+			default:
+				e := core.NewSync(newGPUBackend(1), m, grouped, 0.1)
+				e.CostScale = factor
+				b = e
+			}
+			times[di] = tpi(b, init)
+		}
+		arch := ""
+		params := 0
+		for i, wd := range widths {
+			if i > 0 {
+				arch += "-"
+				params += widths[i-1]*wd + wd
+			}
+			arch += fmt.Sprintf("%d", wd)
+		}
+		points = append(points, Fig6Point{
+			Arch:          arch,
+			Params:        params,
+			SpeedupSeqPar: times[1] / times[2],
+			SpeedupParGPU: times[2] / times[0],
+		})
+		h.logf("# fig6 %s: seq/par %.2f par/gpu %.2f\n",
+			arch, times[1]/times[2], times[2]/times[0])
+	}
+	if h.opts.Out != nil {
+		fmt.Fprintln(h.opts.Out, "Fig 6: sync MLP speedup on real-sim vs architecture")
+		fmt.Fprintf(h.opts.Out, "%-20s %10s %12s %12s\n", "architecture", "params", "seq/par", "par/gpu")
+		for _, p := range points {
+			fmt.Fprintf(h.opts.Out, "%-20s %10d %12s %12s\n",
+				p.Arch, p.Params, fmtRatio(p.SpeedupSeqPar), fmtRatio(p.SpeedupParGPU))
+		}
+		fmt.Fprintln(h.opts.Out)
+	}
+	return points
+}
+
+// Fig7Curve is one panel of the paper's Fig. 7: loss versus modeled time for
+// the two headline configurations — synchronous GPU and asynchronous
+// parallel CPU — from the same initial model.
+type Fig7Curve struct {
+	Task     string
+	Dataset  string
+	SyncGPU  []core.LossPoint
+	AsyncCPU []core.LossPoint
+	// Winner is the configuration that reached the headline tolerance
+	// first ("sync/gpu", "async/cpu", or "tie/none").
+	Winner string
+}
+
+// Fig7 reproduces the paper's Fig. 7 comparison: neither strategy dominates;
+// the winner flips with the task and dataset.
+func (h *Harness) Fig7() []Fig7Curve {
+	var curves []Fig7Curve
+	for _, task := range h.opts.Tasks {
+		for _, dsName := range h.opts.Datasets {
+			t := h.task(dsName, task)
+			init := t.m.InitParams(1)
+			syncOpts := core.DriverOpts{
+				OptLoss:       t.opt,
+				InitLoss:      t.initLoss,
+				MaxEpochs:     h.opts.SyncMaxEpochs,
+				Tolerances:    []float64{h.opts.Tol},
+				LossEvery:     5,
+				PlateauEpochs: 400,
+			}
+			asyncOpts := syncOpts
+			asyncOpts.MaxEpochs = h.opts.MaxEpochs
+			asyncOpts.LossEvery = 1
+			asyncOpts.PlateauEpochs = 120
+			ws := append([]float64(nil), init...)
+			sres := core.RunToConvergence(h.syncEngine(dsName, task, t.syncStep, "gpu"), t.m, t.ds, ws, syncOpts)
+			wa := append([]float64(nil), init...)
+			ares := core.RunToConvergence(h.asyncEngine(dsName, task, t.asyncStep, "cpu-par"), t.m, t.ds, wa, asyncOpts)
+			winner := "tie/none"
+			st, at := sres.SecondsTo[h.opts.Tol], ares.SecondsTo[h.opts.Tol]
+			switch {
+			case st < at:
+				winner = "sync/gpu"
+			case at < st:
+				winner = "async/cpu"
+			}
+			c := Fig7Curve{
+				Task: task, Dataset: dsName,
+				SyncGPU: sres.Curve, AsyncCPU: ares.Curve,
+				Winner: winner,
+			}
+			curves = append(curves, c)
+			h.logf("# fig7 %s/%s: sync/gpu %s vs async/cpu %s -> %s\n",
+				task, dsName, fmtMS(st), fmtMS(at), winner)
+			if h.opts.CurveDir != "" {
+				if err := writeCurveCSV(h.opts.CurveDir, c); err != nil {
+					h.logf("# fig7 csv: %v\n", err)
+				}
+			}
+		}
+	}
+	if h.opts.Out != nil {
+		fmt.Fprintln(h.opts.Out, "Fig 7: time to convergence, sync GPU vs async CPU (winner per panel)")
+		fmt.Fprintf(h.opts.Out, "%-4s %-9s %12s %12s %10s\n", "task", "dataset", "sync/gpu", "async/cpu", "winner")
+		for _, c := range curves {
+			fmt.Fprintf(h.opts.Out, "%-4s %-9s %12s %12s %10s\n",
+				c.Task, c.Dataset, fmtMS(lastTime(c.SyncGPU)), fmtMS(lastTime(c.AsyncCPU)), c.Winner)
+		}
+		fmt.Fprintln(h.opts.Out)
+	}
+	return curves
+}
+
+func lastTime(c []core.LossPoint) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].Seconds
+}
+
+// Fig8Row is one dataset of the paper's Fig. 8 (LR/SVM) or Fig. 9 (MLP):
+// hardware-efficiency speedup of GPU over parallel CPU for our synchronous
+// implementation, our asynchronous implementation, and the framework
+// comparator (BIDMach for LR/SVM, TensorFlow for MLP).
+type Fig8Row struct {
+	Task          string
+	Dataset       string
+	OursSync      float64 // TPI(cpu-par)/TPI(gpu), sync engines
+	OursAsync     float64 // TPI(cpu-par)/TPI(gpu), async engines
+	Framework     float64 // same ratio inside the comparator
+	FrameworkName string
+}
+
+// Fig8 reproduces the paper's Fig. 8 for LR and SVM against BIDMachLike.
+func (h *Harness) Fig8() []Fig8Row {
+	var rows []Fig8Row
+	for _, task := range []string{"lr", "svm"} {
+		if !contains(h.opts.Tasks, task) {
+			continue
+		}
+		for _, dsName := range h.opts.Datasets {
+			rows = append(rows, h.speedupRow(task, dsName, "bidmach"))
+		}
+	}
+	h.printFig8(rows, "Fig 8: GPU-over-parallel-CPU speedup in hardware efficiency (LR/SVM)")
+	return rows
+}
+
+// Fig9 reproduces the paper's Fig. 9 for MLP against TensorFlowLike.
+func (h *Harness) Fig9() []Fig8Row {
+	var rows []Fig8Row
+	if contains(h.opts.Tasks, "mlp") {
+		for _, dsName := range h.opts.Datasets {
+			rows = append(rows, h.speedupRow("mlp", dsName, "tensorflow"))
+		}
+	}
+	h.printFig8(rows, "Fig 9: GPU-over-parallel-CPU speedup in hardware efficiency (MLP)")
+	return rows
+}
+
+func (h *Harness) speedupRow(task, dsName, fw string) Fig8Row {
+	p := h.prep(dsName)
+	t := h.task(dsName, task)
+	init := t.m.InitParams(1)
+	row := Fig8Row{Task: task, Dataset: dsName, FrameworkName: fw}
+
+	sgpu := tpi(h.syncEngine(dsName, task, t.syncStep, "gpu"), init)
+	spar := tpi(h.syncEngine(dsName, task, t.syncStep, "cpu-par"), init)
+	row.OursSync = spar / sgpu
+
+	agpu := tpi(h.asyncEngine(dsName, task, t.asyncStep, "gpu"), init)
+	apar := tpi(h.asyncEngine(dsName, task, t.asyncStep, "cpu-par"), init)
+	row.OursAsync = apar / agpu
+
+	var fgpu, fpar float64
+	if fw == "tensorflow" {
+		fgpu = tpi(frameworks.NewTensorFlowLike(frameworks.GPU, t.m, t.ds, t.syncStep, p.factor), init)
+		fpar = tpi(frameworks.NewTensorFlowLike(frameworks.CPU, t.m, t.ds, t.syncStep, p.factor), init)
+	} else {
+		fgpu = tpi(frameworks.NewBIDMachLike(frameworks.GPU, t.m, t.ds, t.syncStep, p.factor), init)
+		fpar = tpi(frameworks.NewBIDMachLike(frameworks.CPU, t.m, t.ds, t.syncStep, p.factor), init)
+	}
+	row.Framework = fpar / fgpu
+	h.logf("# fig8/9 %s/%s: ours-sync %.2f ours-async %.2f %s %.2f\n",
+		task, dsName, row.OursSync, row.OursAsync, fw, row.Framework)
+	return row
+}
+
+func (h *Harness) printFig8(rows []Fig8Row, title string) {
+	if h.opts.Out == nil || len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(h.opts.Out, title)
+	fmt.Fprintf(h.opts.Out, "%-4s %-9s %10s %10s %12s\n", "task", "dataset", "ours-sync", "ours-async", "framework")
+	for _, r := range rows {
+		fmt.Fprintf(h.opts.Out, "%-4s %-9s %10s %10s %12s\n",
+			r.Task, r.Dataset, fmtRatio(r.OursSync), fmtRatio(r.OursAsync), fmtRatio(r.Framework))
+	}
+	fmt.Fprintln(h.opts.Out)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

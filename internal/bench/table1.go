@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// Table1Row is one dataset's statistics in the layout of the paper's
+// Table I, for both the native representation and the MLP-transformed one.
+type Table1Row struct {
+	Native     data.Stats
+	MLP        data.Stats
+	MLPArch    string
+	FullN      int // full-scale example count from the registry
+	GeneratedN int // examples actually generated at this run's scale
+}
+
+// Table1 generates every dataset at the run's scale and reports its shape
+// statistics (Table I of the paper). Density percentages are
+// scale-invariant, so they are directly comparable to the published table.
+func (h *Harness) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, name := range h.opts.Datasets {
+		p := h.prep(name)
+		rows = append(rows, Table1Row{
+			Native:     data.ComputeStats(p.ds),
+			MLP:        data.ComputeStats(p.mlpDS),
+			MLPArch:    p.spec.ArchString(),
+			FullN:      p.spec.N,
+			GeneratedN: p.ds.N(),
+		})
+	}
+	if h.opts.Out != nil {
+		fmt.Fprintf(h.opts.Out, "Table I: experimental datasets (generated at %d-example scale)\n", h.opts.MaxN)
+		fmt.Fprintf(h.opts.Out, "%-9s %9s %9s %16s %9s %12s %9s %s\n",
+			"dataset", "#examples", "#features", "nnz/exp", "sparsity", "mlp-sparsity", "mlp-arch", "size(s/d)")
+		for _, r := range rows {
+			fmt.Fprintf(h.opts.Out, "%-9s %9d %9d %5d..%-5d(%4.0f) %8.2f%% %11.2f%% %9s %s / %s\n",
+				r.Native.Name, r.FullN, r.Native.Features,
+				r.Native.MinNNZ, r.Native.MaxNNZ, r.Native.AvgNNZ,
+				r.Native.DensityPct, r.MLP.DensityPct, r.MLPArch,
+				data.FormatBytes(int64(float64(r.Native.SparseBytes)*float64(r.FullN)/float64(r.GeneratedN))),
+				data.FormatBytes(int64(float64(r.Native.DenseBytes)*float64(r.FullN)/float64(r.GeneratedN))))
+		}
+		fmt.Fprintln(h.opts.Out)
+	}
+	return rows
+}

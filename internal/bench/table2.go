@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Table2Row mirrors one row of the paper's Table II: synchronous SGD to the
+// headline convergence tolerance on gpu / cpu-seq / cpu-par. Device order in
+// the arrays is [gpu, cpu-seq, cpu-par], matching the paper's columns.
+type Table2Row struct {
+	Task    string
+	Dataset string
+	// TTC is time-to-convergence in modeled seconds per device.
+	TTC [3]float64
+	// TPI is time-per-iteration in modeled seconds per device.
+	TPI [3]float64
+	// Epochs to the tolerance — identical for all devices by synchronous
+	// construction; -1 when the tolerance was not reached in the budget.
+	Epochs int
+	// SpeedupSeqPar = TPI(cpu-seq)/TPI(cpu-par) — the paper's
+	// "cpu-seq/cpu-par" column.
+	SpeedupSeqPar float64
+	// SpeedupParGPU = TPI(cpu-par)/TPI(gpu) — the paper's "cpu-par/gpu"
+	// column.
+	SpeedupParGPU float64
+	// Step is the tuned step size used.
+	Step float64
+}
+
+var table2Devices = [3]string{"gpu", "cpu-seq", "cpu-par"}
+
+// Table2 reproduces the paper's Table II: for every task x dataset it drives
+// the synchronous configuration to the tolerance once (statistical
+// efficiency is device-independent for synchronous updates), prices one
+// epoch on each device, and reports time-to-convergence, time-per-iteration,
+// epochs, and the two speedup columns.
+func (h *Harness) Table2() []Table2Row {
+	var rows []Table2Row
+	for _, task := range h.opts.Tasks {
+		for _, dsName := range h.opts.Datasets {
+			rows = append(rows, h.table2Row(task, dsName))
+		}
+	}
+	if h.opts.Out != nil {
+		h.printTable2(rows)
+	}
+	return rows
+}
+
+func (h *Harness) table2Row(task, dsName string) Table2Row {
+	t := h.task(dsName, task)
+	init := t.m.InitParams(1)
+	row := Table2Row{Task: task, Dataset: dsName, Step: t.syncStep}
+
+	// Hardware efficiency: one priced epoch per device.
+	for di, dev := range table2Devices {
+		row.TPI[di] = tpi(h.syncEngine(dsName, task, t.syncStep, dev), init)
+	}
+	// Statistical efficiency: one functional convergence drive (identical
+	// across devices by synchronous construction).
+	drive := h.syncEngine(dsName, task, t.syncStep, "cpu-par")
+	w := append([]float64(nil), init...)
+	res := core.RunToConvergence(drive, t.m, t.ds, w, core.DriverOpts{
+		OptLoss:       t.opt,
+		InitLoss:      t.initLoss,
+		MaxEpochs:     h.opts.SyncMaxEpochs,
+		Tolerances:    []float64{h.opts.Tol},
+		LossEvery:     5,
+		PlateauEpochs: 400,
+	})
+	row.Epochs = res.EpochsTo[h.opts.Tol]
+	for di := range row.TTC {
+		if row.Epochs < 0 {
+			row.TTC[di] = inf()
+		} else {
+			row.TTC[di] = float64(row.Epochs) * row.TPI[di]
+		}
+	}
+	row.SpeedupSeqPar = row.TPI[1] / row.TPI[2]
+	row.SpeedupParGPU = row.TPI[2] / row.TPI[0]
+	h.logf("# table2 %s/%s: epochs=%d tpi=[gpu %s, seq %s, par %s]\n",
+		task, dsName, row.Epochs, fmtMS(row.TPI[0]), fmtMS(row.TPI[1]), fmtMS(row.TPI[2]))
+	return row
+}
+
+func (h *Harness) printTable2(rows []Table2Row) {
+	out := h.opts.Out
+	fmt.Fprintf(out, "Table II: synchronous SGD to %.0f%% convergence error\n", h.opts.Tol*100)
+	fmt.Fprintf(out, "%-4s %-9s | %10s %10s %10s | %10s %10s %10s | %6s | %9s %9s\n",
+		"task", "dataset",
+		"ttc-gpu", "ttc-seq", "ttc-par",
+		"tpi-gpu", "tpi-seq", "tpi-par",
+		"epochs", "seq/par", "par/gpu")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-4s %-9s | %10s %10s %10s | %10s %10s %10s | %6s | %9s %9s\n",
+			r.Task, r.Dataset,
+			fmtMS(r.TTC[0]), fmtMS(r.TTC[1]), fmtMS(r.TTC[2]),
+			fmtMS(r.TPI[0]), fmtMS(r.TPI[1]), fmtMS(r.TPI[2]),
+			fmtEpochs(r.Epochs), fmtRatio(r.SpeedupSeqPar), fmtRatio(r.SpeedupParGPU))
+	}
+	fmt.Fprintln(out)
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Table3Row mirrors one row of the paper's Table III: asynchronous SGD to
+// the headline tolerance. Unlike the synchronous case, every device has its
+// own statistical efficiency, so each is driven to convergence separately.
+// Device order is [gpu, cpu-seq, cpu-par].
+type Table3Row struct {
+	Task    string
+	Dataset string
+	TTC     [3]float64
+	TPI     [3]float64
+	Epochs  [3]int // -1 = ∞ (did not reach the tolerance in the budget)
+	// SpeedupSeqPar = TPI(cpu-seq)/TPI(cpu-par); SpeedupGPUPar =
+	// TPI(gpu)/TPI(cpu-par) — the paper's two speedup columns (values
+	// below 1 in the latter mean the GPU iterates faster).
+	SpeedupSeqPar float64
+	SpeedupGPUPar float64
+	Step          float64
+}
+
+// Table3 reproduces the paper's Table III: Hogwild for LR/SVM (sequential,
+// 56-thread CPU, simulated-GPU warps) and Hogbatch (batch 512) for MLP.
+func (h *Harness) Table3() []Table3Row {
+	var rows []Table3Row
+	for _, task := range h.opts.Tasks {
+		for _, dsName := range h.opts.Datasets {
+			rows = append(rows, h.table3Row(task, dsName))
+		}
+	}
+	if h.opts.Out != nil {
+		h.printTable3(rows)
+	}
+	return rows
+}
+
+func (h *Harness) table3Row(task, dsName string) Table3Row {
+	t := h.task(dsName, task)
+	init := t.m.InitParams(1)
+	row := Table3Row{Task: task, Dataset: dsName, Step: t.asyncStep}
+	for di, dev := range table2Devices {
+		step := t.asyncStep
+		if dev == "gpu" && t.asyncStepGPU > 0 {
+			step = t.asyncStepGPU
+		}
+		epochs := make([]int, h.opts.Repeats)
+		ttcs := make([]float64, h.opts.Repeats)
+		tpis := make([]float64, h.opts.Repeats)
+		for rep := 0; rep < h.opts.Repeats; rep++ {
+			e := h.asyncEngine(dsName, task, step, dev)
+			if s, ok := e.(interface{ SetShuffleSeed(int64) }); ok {
+				s.SetShuffleSeed(99 + int64(rep))
+			}
+			w := append([]float64(nil), init...)
+			res := core.RunToConvergence(e, t.m, t.ds, w, core.DriverOpts{
+				OptLoss:       t.opt,
+				InitLoss:      t.initLoss,
+				MaxEpochs:     h.opts.MaxEpochs,
+				Tolerances:    []float64{h.opts.Tol},
+				PlateauEpochs: 120,
+			})
+			epochs[rep] = res.EpochsTo[h.opts.Tol]
+			ttcs[rep] = res.SecondsTo[h.opts.Tol]
+			tpis[rep] = res.SecPerEpoch
+		}
+		epSum := metrics.MeanEpochs(epochs)
+		ttcSum := metrics.Summarize(ttcs)
+		row.TPI[di] = metrics.Summarize(tpis).Mean
+		if epSum.N == 0 {
+			row.Epochs[di] = -1
+			row.TTC[di] = inf()
+		} else {
+			row.Epochs[di] = int(epSum.Mean + 0.5)
+			row.TTC[di] = ttcSum.Mean
+		}
+		h.logf("# table3 %s/%s %s: epochs=%s tpi=%s (%d reps)\n",
+			task, dsName, dev, fmtEpochs(row.Epochs[di]), fmtMS(row.TPI[di]), h.opts.Repeats)
+	}
+	row.SpeedupSeqPar = row.TPI[1] / row.TPI[2]
+	row.SpeedupGPUPar = row.TPI[0] / row.TPI[2]
+	return row
+}
+
+func (h *Harness) printTable3(rows []Table3Row) {
+	out := h.opts.Out
+	fmt.Fprintf(out, "Table III: asynchronous SGD to %.0f%% convergence error\n", h.opts.Tol*100)
+	fmt.Fprintf(out, "%-4s %-9s | %10s %10s %10s | %10s %10s %10s | %6s %6s %6s | %8s %8s\n",
+		"task", "dataset",
+		"ttc-gpu", "ttc-seq", "ttc-par",
+		"tpi-gpu", "tpi-seq", "tpi-par",
+		"ep-gpu", "ep-seq", "ep-par",
+		"seq/par", "gpu/par")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-4s %-9s | %10s %10s %10s | %10s %10s %10s | %6s %6s %6s | %8s %8s\n",
+			r.Task, r.Dataset,
+			fmtMS(r.TTC[0]), fmtMS(r.TTC[1]), fmtMS(r.TTC[2]),
+			fmtMS(r.TPI[0]), fmtMS(r.TPI[1]), fmtMS(r.TPI[2]),
+			fmtEpochs(r.Epochs[0]), fmtEpochs(r.Epochs[1]), fmtEpochs(r.Epochs[2]),
+			fmtRatio(r.SpeedupSeqPar), fmtRatio(r.SpeedupGPUPar))
+	}
+	fmt.Fprintln(out)
+}

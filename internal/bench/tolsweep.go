@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TolSweepRow reports the time to every convergence threshold of the paper's
+// methodology (10%, 5%, 2%, 1%) for the two headline configurations.
+type TolSweepRow struct {
+	Task    string
+	Dataset string
+	// Sync and Async map each tolerance to modeled seconds (+Inf if the
+	// threshold was not reached); the tolerances are core.Tolerances.
+	Sync  map[float64]float64
+	Async map[float64]float64
+	// CrossoverTol is the loosest tolerance at which the winner differs
+	// from the winner at 1% — non-zero rows demonstrate the paper's
+	// point that early and late convergence can favour different
+	// configurations (BGD starts slow, SGD finishes slow).
+	CrossoverTol float64
+}
+
+// TolSweep measures time-to-convergence at all four thresholds for
+// synchronous GPU and asynchronous parallel CPU (the Fig. 7 pairing).
+func (h *Harness) TolSweep() []TolSweepRow {
+	var rows []TolSweepRow
+	for _, task := range h.opts.Tasks {
+		for _, dsName := range h.opts.Datasets {
+			t := h.task(dsName, task)
+			init := t.m.InitParams(1)
+			drive := func(e core.Engine, maxEpochs, lossEvery int) map[float64]float64 {
+				w := append([]float64(nil), init...)
+				res := core.RunToConvergence(e, t.m, t.ds, w, core.DriverOpts{
+					OptLoss:       t.opt,
+					InitLoss:      t.initLoss,
+					MaxEpochs:     maxEpochs,
+					LossEvery:     lossEvery,
+					PlateauEpochs: 400,
+				})
+				return res.SecondsTo
+			}
+			row := TolSweepRow{
+				Task: task, Dataset: dsName,
+				Sync:  drive(h.syncEngine(dsName, task, t.syncStep, "gpu"), h.opts.SyncMaxEpochs, 5),
+				Async: drive(h.asyncEngine(dsName, task, t.asyncStep, "cpu-par"), h.opts.MaxEpochs, 1),
+			}
+			winner := func(tol float64) int {
+				s, a := row.Sync[tol], row.Async[tol]
+				switch {
+				case s < a:
+					return 1
+				case a < s:
+					return -1
+				}
+				return 0
+			}
+			final := winner(0.01)
+			for _, tol := range []float64{0.10, 0.05, 0.02} {
+				if w := winner(tol); w != 0 && final != 0 && w != final {
+					row.CrossoverTol = tol
+					break
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	if h.opts.Out != nil {
+		out := h.opts.Out
+		fmt.Fprintln(out, "Tolerance sweep: time to 10/5/2/1% (sync/gpu vs async/cpu-par)")
+		fmt.Fprintf(out, "%-4s %-9s %-9s | %10s %10s %10s %10s | %s\n",
+			"task", "dataset", "engine", "10%", "5%", "2%", "1%", "crossover")
+		for _, r := range rows {
+			cross := "-"
+			if r.CrossoverTol > 0 {
+				cross = fmt.Sprintf("at %.0f%%", r.CrossoverTol*100)
+			}
+			fmt.Fprintf(out, "%-4s %-9s %-9s | %10s %10s %10s %10s | %s\n",
+				r.Task, r.Dataset, "sync/gpu",
+				fmtMS(r.Sync[0.10]), fmtMS(r.Sync[0.05]), fmtMS(r.Sync[0.02]), fmtMS(r.Sync[0.01]), cross)
+			fmt.Fprintf(out, "%-4s %-9s %-9s | %10s %10s %10s %10s |\n",
+				"", "", "async/cpu",
+				fmtMS(r.Async[0.10]), fmtMS(r.Async[0.05]), fmtMS(r.Async[0.02]), fmtMS(r.Async[0.01]))
+		}
+		fmt.Fprintln(out)
+	}
+	return rows
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestCycladesBatchesAreConflictFree(t *testing.T) {
+	ds, _ := smallDataset(t, "real-sim", 600)
+	m := model.NewLR(ds.D())
+	e := NewCyclades(m, ds, 0.5, 56)
+	e.schedule()
+	seen := make(map[int]int, ds.D())
+	visited := 0
+	for bi, batch := range e.batches {
+		clear(seen)
+		for _, i := range batch {
+			visited++
+			cols, _ := ds.X.Row(i)
+			for _, c := range cols {
+				if prev, dup := seen[int(c)]; dup {
+					t.Fatalf("batch %d: component %d written by examples %d and %d",
+						bi, c, prev, i)
+				}
+				seen[int(c)] = i
+			}
+		}
+	}
+	if visited != ds.N() {
+		t.Fatalf("scheduled %d of %d examples", visited, ds.N())
+	}
+}
+
+func TestCycladesSequentialEquivalentLoss(t *testing.T) {
+	// Conflict-free execution must behave like plain incremental SGD:
+	// it converges (no staleness, no lost updates).
+	ds, _ := smallDataset(t, "real-sim", 600)
+	m := model.NewSVM(ds.D())
+	e := NewCyclades(m, ds, 0.5, 56)
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	var sec float64
+	for ep := 0; ep < 20; ep++ {
+		sec += e.RunEpoch(w)
+	}
+	after := model.MeanLoss(m, w, ds)
+	if after >= before/2 {
+		t.Fatalf("Cyclades: loss %v -> %v", before, after)
+	}
+	if sec <= 0 {
+		t.Fatal("no modeled time")
+	}
+}
+
+func TestCycladesDenseDegeneratesToSingletons(t *testing.T) {
+	// On complete data every pair of examples conflicts: the schedule
+	// must collapse to one example per batch (sequential execution).
+	ds, _ := smallDataset(t, "covtype", 300)
+	m := model.NewLR(ds.D())
+	e := NewCyclades(m, ds, 0.1, 56)
+	e.schedule()
+	st := e.Stats()
+	if st.MaxBatchLen != 1 {
+		t.Fatalf("dense data produced batch of %d conflict-free examples", st.MaxBatchLen)
+	}
+	if st.SingletonFrac != 1 {
+		t.Fatalf("singleton fraction %v", st.SingletonFrac)
+	}
+}
+
+func TestCycladesSparseFindsParallelism(t *testing.T) {
+	// news-like sparsity: batches must pack many conflict-free examples.
+	ds, _ := smallDataset(t, "news", 800)
+	m := model.NewLR(ds.D())
+	e := NewCyclades(m, ds, 0.1, 56)
+	e.schedule()
+	st := e.Stats()
+	if st.MeanBatchLen < 4 {
+		t.Fatalf("sparse data mean batch length %.1f, expected real parallelism", st.MeanBatchLen)
+	}
+}
+
+func TestCycladesModeledCostOrdering(t *testing.T) {
+	// On sparse data, conflict-free parallel execution must beat the
+	// sequential baseline in modeled time per iteration.
+	ds, _ := smallDataset(t, "news", 800)
+	m := model.NewLR(ds.D())
+	cyc := NewCyclades(m, ds, 0.1, 56)
+	seq := NewHogwild(m, ds, 0.1, 1)
+	w1 := m.InitParams(1)
+	w2 := m.InitParams(1)
+	tc := cyc.RunEpoch(w1)
+	ts := seq.RunEpoch(w2)
+	if tc >= ts {
+		t.Fatalf("Cyclades (%v) not faster than sequential (%v) on sparse data", tc, ts)
+	}
+}
+
+func TestCycladesSupportProbeNonLinearModel(t *testing.T) {
+	// For MLP the support walk goes through the updater probe; dense
+	// upper layers make all examples conflict.
+	ds, _ := smallDataset(t, "w8a", 200)
+	m := model.NewMLP([]int{300, 4, 2})
+	e := NewCyclades(m, ds, 0.1, 8)
+	e.schedule()
+	if e.Stats().MaxBatchLen != 1 {
+		t.Fatalf("MLP batches should be singletons, got max %d", e.Stats().MaxBatchLen)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestQuantizedUpdaterRounds(t *testing.T) {
+	w := []float64{0}
+	model.QuantizedUpdater{FracBits: 8}.Add(w, 0, 0.1)
+	// 0.1 * 256 = 25.6 -> 26/256.
+	if got, want := w[0], 26.0/256; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("quantized add = %v, want %v", got, want)
+	}
+	// Sub-grid deltas are dropped entirely.
+	w[0] = 0
+	model.QuantizedUpdater{FracBits: 8}.Add(w, 0, 1e-6)
+	if w[0] != 0 {
+		t.Fatalf("sub-grid delta landed: %v", w[0])
+	}
+	// FracBits <= 0 behaves like RawUpdater.
+	model.QuantizedUpdater{}.Add(w, 0, 0.1)
+	if w[0] != 0.1 {
+		t.Fatalf("unquantized add = %v", w[0])
+	}
+}
+
+func TestQuantizedHogwildStillConverges(t *testing.T) {
+	// Buckwild-style low precision must not break convergence on an easy
+	// problem (it trades a slightly higher loss floor for cheaper
+	// updates).
+	ds, _ := smallDataset(t, "w8a", 600)
+	m := model.NewLR(ds.D())
+	e := NewHogwild(m, ds, 0.5, 1)
+	e.Updater = model.QuantizedUpdater{FracBits: 16}
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	for ep := 0; ep < 40; ep++ {
+		e.RunEpoch(w)
+	}
+	after := model.MeanLoss(m, w, ds)
+	if after >= before-0.05 {
+		t.Fatalf("quantized Hogwild made no progress: %v -> %v", before, after)
+	}
+}
+
+func TestReplicatedHogwildConverges(t *testing.T) {
+	ds, _ := smallDataset(t, "real-sim", 800)
+	m := model.NewSVM(ds.D())
+	e := NewReplicatedHogwild(m, ds, 0.5)
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	var sec float64
+	for ep := 0; ep < 30; ep++ {
+		sec += e.RunEpoch(w)
+	}
+	after := model.MeanLoss(m, w, ds)
+	if after >= before {
+		t.Fatalf("PerNode Hogwild made no progress: %v -> %v", before, after)
+	}
+	if sec <= 0 {
+		t.Fatal("no modeled time")
+	}
+}
+
+func TestReplicatedHogwildAvoidsCrossSocketPenalty(t *testing.T) {
+	// On dense low-dimensional data the PerNode variant must iterate
+	// faster than flat 56-thread Hogwild: each replica's conflicts stay
+	// socket-local and each pass covers only a shard.
+	ds, _ := smallDataset(t, "covtype", 1500)
+	m := model.NewLR(ds.D())
+	flat := NewHogwild(m, ds, 0.01, 56)
+	per := NewReplicatedHogwild(m, ds, 0.01)
+	w1 := m.InitParams(1)
+	w2 := m.InitParams(1)
+	tFlat := flat.RunEpoch(w1)
+	tPer := per.RunEpoch(w2)
+	if tPer >= tFlat {
+		t.Fatalf("PerNode (%v) not faster than flat Hogwild (%v) on dense data", tPer, tFlat)
+	}
+}
+
+func TestReplicatedHogwildName(t *testing.T) {
+	ds, _ := smallDataset(t, "w8a", 200)
+	e := NewReplicatedHogwild(model.NewLR(ds.D()), ds, 0.1)
+	if e.Name() != "async/cpu-pernode(2x28)" {
+		t.Fatalf("Name = %s", e.Name())
+	}
+}
+
+func TestHogwildEmulatedMatchesThreadsSemantics(t *testing.T) {
+	// The staleness emulation must process every example exactly once
+	// per epoch and keep the model finite.
+	ds, _ := smallDataset(t, "w8a", 500)
+	m := model.NewLR(ds.D())
+	e := NewHogwild(m, ds, 0.5, 56) // forced into emulation on small hosts
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	e.RunEpoch(w)
+	after := model.MeanLoss(m, w, ds)
+	if math.IsNaN(after) || after >= before {
+		t.Fatalf("emulated epoch loss %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGPUHogwildSharedMemoryVariant(t *testing.T) {
+	// The shared-memory replica optimisation applies to small models
+	// (w8a: 300 params). It must converge and, per epoch, move fewer
+	// global-memory bytes than the flat kernel.
+	ds, _ := smallDataset(t, "w8a", 800)
+	m := model.NewLR(ds.D())
+
+	flat := NewGPUHogwild(m, ds, 0.5)
+	shared := NewGPUHogwild(m, ds, 0.5)
+	shared.SharedMemory = true
+
+	wf := m.InitParams(1)
+	wsh := m.InitParams(1)
+	flat.RunEpoch(wf)
+	shared.RunEpoch(wsh)
+	if shared.LastStats().Cost.Bytes >= flat.LastStats().Cost.Bytes {
+		t.Fatalf("shared variant moved more bytes: %v >= %v",
+			shared.LastStats().Cost.Bytes, flat.LastStats().Cost.Bytes)
+	}
+
+	// Convergence: drive the shared variant to 10%.
+	opt := EstimateOptLoss(m, ds, 20)
+	e := NewGPUHogwild(m, ds, 0.5)
+	e.SharedMemory = true
+	w := m.InitParams(1)
+	res := RunToConvergence(e, m, ds, w, DriverOpts{OptLoss: opt, MaxEpochs: 400})
+	if res.EpochsTo[0.10] < 0 {
+		t.Fatalf("shared-memory GPU Hogwild never reached 10%%: final %v opt %v",
+			res.FinalLoss, opt)
+	}
+}
+
+func TestGPUHogwildSharedMemoryFallsBack(t *testing.T) {
+	// Models beyond 48 KB (news: 1.35M params) silently use the flat
+	// kernel instead of panicking.
+	ds, _ := smallDataset(t, "news", 400)
+	m := model.NewLR(ds.D())
+	e := NewGPUHogwild(m, ds, 0.1)
+	e.SharedMemory = true
+	w := m.InitParams(1)
+	if sec := e.RunEpoch(w); sec <= 0 {
+		t.Fatal("fallback epoch did not run")
+	}
+	if e.LastStats().Updates == 0 {
+		t.Fatal("fallback did no work")
+	}
+}

@@ -1,0 +1,405 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	// Full-scale registry targets must equal the paper's Table I.
+	want := map[string]struct {
+		n, d, minNNZ, maxNNZ int
+		avg                  float64
+		mlpIn                int
+		arch                 string
+	}{
+		"covtype":  {581012, 54, 54, 54, 54, 54, "54-10-5-2"},
+		"w8a":      {64700, 300, 0, 114, 12, 300, "300-10-5-2"},
+		"real-sim": {72309, 20958, 1, 3484, 51, 50, "50-10-5-2"},
+		"rcv1":     {677399, 47236, 4, 1224, 73, 50, "50-10-5-2"},
+		"news":     {19996, 1355191, 1, 16423, 455, 300, "300-10-5-2"},
+	}
+	for _, name := range Names() {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[name]
+		if spec.N != w.n || spec.D != w.d {
+			t.Errorf("%s: N,d = %d,%d want %d,%d", name, spec.N, spec.D, w.n, w.d)
+		}
+		if spec.MinNNZ != w.minNNZ || spec.MaxNNZ != w.maxNNZ || spec.AvgNNZ != w.avg {
+			t.Errorf("%s: nnz %d..%d avg %v, want %d..%d avg %v",
+				name, spec.MinNNZ, spec.MaxNNZ, spec.AvgNNZ, w.minNNZ, w.maxNNZ, w.avg)
+		}
+		if spec.ArchString() != w.arch {
+			t.Errorf("%s: arch %s want %s", name, spec.ArchString(), w.arch)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	spec, _ := Lookup("covtype")
+	s := spec.Scaled(0.01)
+	if s.N != 5810 {
+		t.Fatalf("scaled N = %d", s.N)
+	}
+	if s.D != spec.D {
+		t.Fatal("scaling changed dimensionality")
+	}
+	if got := spec.Scaled(1e-9).N; got != 64 {
+		t.Fatalf("floor N = %d, want 64", got)
+	}
+	if got := spec.Scaled(-1).N; got != spec.N {
+		t.Fatalf("invalid factor should keep N, got %d", got)
+	}
+}
+
+func TestGenerateDense(t *testing.T) {
+	spec, _ := Lookup("covtype")
+	ds := Generate(spec.Scaled(0.002))
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(ds)
+	if st.MinNNZ != 54 || st.MaxNNZ != 54 {
+		t.Fatalf("covtype not dense: nnz %d..%d", st.MinNNZ, st.MaxNNZ)
+	}
+	if st.DensityPct != 100 {
+		t.Fatalf("covtype density = %v", st.DensityPct)
+	}
+	// Class balance should be rough, not degenerate.
+	var pos int
+	for _, y := range ds.Y {
+		if y > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / float64(ds.N())
+	if frac < 0.15 || frac > 0.85 {
+		t.Fatalf("degenerate label balance: %.2f positive", frac)
+	}
+}
+
+func TestGenerateSparseMatchesTargets(t *testing.T) {
+	for _, name := range []string{"w8a", "real-sim", "rcv1", "news"} {
+		spec, _ := Lookup(name)
+		scaled := spec.Scaled(2000.0 / float64(spec.N))
+		ds := Generate(scaled)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := ComputeStats(ds)
+		if st.MinNNZ < spec.MinNNZ {
+			t.Errorf("%s: min nnz %d below target %d", name, st.MinNNZ, spec.MinNNZ)
+		}
+		if st.MaxNNZ > spec.MaxNNZ {
+			t.Errorf("%s: max nnz %d above target %d", name, st.MaxNNZ, spec.MaxNNZ)
+		}
+		// Mean within 35% of the Table I average (sampling noise at
+		// this reduced scale).
+		if st.AvgNNZ < 0.65*spec.AvgNNZ || st.AvgNNZ > 1.35*spec.AvgNNZ {
+			t.Errorf("%s: avg nnz %.1f, target %.1f", name, st.AvgNNZ, spec.AvgNNZ)
+		}
+	}
+}
+
+func TestGenerateDenseCovtypeStructure(t *testing.T) {
+	// The real covtype is 10 quantitative features + one-hot wilderness
+	// (4) + one-hot soil (40); the synthetic equivalent must reproduce
+	// that layout while keeping all 54 entries structurally present.
+	spec, _ := Lookup("covtype")
+	ds := Generate(spec.Scaled(0.002))
+	for i := 0; i < ds.N(); i++ {
+		cols, vals := ds.X.Row(i)
+		if len(cols) != 54 {
+			t.Fatalf("row %d nnz %d", i, len(cols))
+		}
+		for j := 0; j < 10; j++ {
+			if vals[j] < 0 || vals[j] > 1 {
+				t.Fatalf("continuous feature out of [0,1]: %v", vals[j])
+			}
+		}
+		for _, g := range [][2]int{{10, 14}, {14, 54}} {
+			ones := 0
+			for j := g[0]; j < g[1]; j++ {
+				switch vals[j] {
+				case 1:
+					ones++
+				case 0:
+				default:
+					t.Fatalf("one-hot group value %v", vals[j])
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("row %d group %v has %d hot entries", i, g, ones)
+			}
+		}
+	}
+}
+
+func TestGenerateSparseTFIDFDownweightsHotFeatures(t *testing.T) {
+	// tf-idf must make hot (low-index, Zipf-favoured) features carry
+	// smaller values on average than rare ones.
+	// The comparison must be within rows: across rows the unit
+	// normalisation couples value magnitude to row length.
+	spec, _ := Lookup("rcv1")
+	ds := Generate(spec.Scaled(3000.0 / float64(spec.N)))
+	var hotLower, total int
+	for i := 0; i < ds.N(); i++ {
+		cols, vals := ds.X.Row(i)
+		if len(cols) < 40 {
+			continue
+		}
+		var hotSum, hotN, coldSum, coldN float64
+		for k, c := range cols {
+			if c < 20 {
+				hotSum += vals[k]
+				hotN++
+			} else if c > 500 {
+				coldSum += vals[k]
+				coldN++
+			}
+		}
+		if hotN == 0 || coldN == 0 {
+			continue
+		}
+		total++
+		if hotSum/hotN < coldSum/coldN {
+			hotLower++
+		}
+	}
+	if total < 20 {
+		t.Skipf("only %d comparable rows", total)
+	}
+	if frac := float64(hotLower) / float64(total); frac < 0.75 {
+		t.Fatalf("hot features lighter than cold in only %.0f%% of rows", frac*100)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Lookup("w8a")
+	spec = spec.Scaled(0.01)
+	a := Generate(spec)
+	b := Generate(spec)
+	if a.N() != b.N() || a.X.NNZ() != b.X.NNZ() {
+		t.Fatal("generation not deterministic in shape")
+	}
+	for i, v := range a.X.Values {
+		if b.X.Values[i] != v {
+			t.Fatal("generation not deterministic in values")
+		}
+	}
+	for i, y := range a.Y {
+		if b.Y[i] != y {
+			t.Fatal("generation not deterministic in labels")
+		}
+	}
+}
+
+func TestSparseRowsUnitNorm(t *testing.T) {
+	spec, _ := Lookup("real-sim")
+	ds := Generate(spec.Scaled(0.005))
+	for i := 0; i < ds.N(); i++ {
+		_, vals := ds.X.Row(i)
+		var n float64
+		for _, v := range vals {
+			n += v * v
+		}
+		if len(vals) > 0 && math.Abs(n-1) > 1e-9 {
+			t.Fatalf("row %d norm^2 = %v", i, n)
+		}
+	}
+}
+
+func TestGroupFeatures(t *testing.T) {
+	spec, _ := Lookup("real-sim")
+	ds := Generate(spec.Scaled(0.01))
+	mlp, err := ForMLP(ds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlp.D() != spec.MLPInputs {
+		t.Fatalf("grouped width = %d, want %d", mlp.D(), spec.MLPInputs)
+	}
+	if err := mlp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Density must increase substantially after grouping (Table I:
+	// real-sim 0.25% -> 42.64%).
+	before := ComputeStats(ds).DensityPct
+	after := ComputeStats(mlp).DensityPct
+	if after < 10*before {
+		t.Fatalf("grouping density %v%% -> %v%%, expected a large increase", before, after)
+	}
+	if after > 100 {
+		t.Fatalf("density over 100%%: %v", after)
+	}
+}
+
+func TestGroupFeaturesIdentityForNarrow(t *testing.T) {
+	spec, _ := Lookup("covtype")
+	ds := Generate(spec.Scaled(0.001))
+	out, err := GroupFeatures(ds, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != ds {
+		t.Fatal("covtype should be returned unchanged (54 inputs = native width)")
+	}
+	if _, err := GroupFeatures(ds, 0); err == nil {
+		t.Fatal("inputs=0 did not error")
+	}
+}
+
+func TestGroupFeaturesAverages(t *testing.T) {
+	// Hand-built: 6 features -> 2 groups of 3.
+	ds := &Dataset{Name: "t", Y: []float64{1}}
+	ds.X = mustCSR(t, 1, 6, map[[2]int]float64{{0, 0}: 3, {0, 2}: 3, {0, 4}: 6})
+	out, err := GroupFeatures(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, vals := out.X.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if vals[0] != 2 || vals[1] != 2 {
+		t.Fatalf("vals = %v (want group averages 2, 2)", vals)
+	}
+}
+
+func TestLIBSVMRoundTrip(t *testing.T) {
+	spec, _ := Lookup("w8a")
+	ds := Generate(spec.Scaled(0.005))
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLIBSVM(&buf, "w8a", spec.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.X.NNZ() != ds.X.NNZ() {
+		t.Fatalf("round trip shape: %dx%d nnz %d vs %dx%d nnz %d",
+			back.N(), back.D(), back.X.NNZ(), ds.N(), ds.D(), ds.X.NNZ())
+	}
+	for i := range back.Y {
+		if back.Y[i] != ds.Y[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+	}
+	for k, v := range back.X.Values {
+		if math.Abs(v-ds.X.Values[k]) > 1e-12 {
+			t.Fatalf("value %d mismatch: %v vs %v", k, v, ds.X.Values[k])
+		}
+	}
+}
+
+func TestLIBSVMParsesLabels(t *testing.T) {
+	in := "+1 1:0.5 3:1\n-1 2:2\n0 1:1\n"
+	ds, err := ReadLIBSVM(strings.NewReader(in), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 3 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	if ds.Y[0] != 1 || ds.Y[1] != -1 || ds.Y[2] != -1 {
+		t.Fatalf("labels = %v", ds.Y)
+	}
+}
+
+func TestLIBSVMErrors(t *testing.T) {
+	cases := []string{
+		"x 1:1\n",     // bad label
+		"1 0:1\n",     // index < 1
+		"1 a:1\n",     // bad index
+		"1 1:z\n",     // bad value
+		"1 2:1 1:1\n", // decreasing indices
+		"1 11\n",      // missing colon
+	}
+	for _, in := range cases {
+		if _, err := ReadLIBSVM(strings.NewReader(in), "t", 0); err == nil {
+			t.Errorf("input %q did not error", in)
+		}
+	}
+	if _, err := ReadLIBSVM(strings.NewReader("1 5:1\n"), "t", 3); err == nil {
+		t.Error("index beyond declared width did not error")
+	}
+}
+
+func TestDatasetValidateCatchesBadLabels(t *testing.T) {
+	ds := &Dataset{Name: "t", Y: []float64{0.5}}
+	ds.X = mustCSR(t, 1, 2, map[[2]int]float64{{0, 0}: 1})
+	if err := ds.Validate(); err == nil {
+		t.Fatal("label 0.5 not rejected")
+	}
+	ds.Y = []float64{1, -1}
+	if err := ds.Validate(); err == nil {
+		t.Fatal("label length mismatch not rejected")
+	}
+}
+
+func TestDenseXCaching(t *testing.T) {
+	spec, _ := Lookup("covtype")
+	ds := Generate(spec.Scaled(0.0005))
+	a := ds.DenseX(0)
+	b := ds.DenseX(0)
+	if a != b {
+		t.Fatal("DenseX not cached")
+	}
+	if !ds.CanDensify(ds.X.DenseBytes()) {
+		t.Fatal("CanDensify false at exact size")
+	}
+	if ds.CanDensify(ds.X.DenseBytes() - 1) {
+		t.Fatal("CanDensify true below size")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		100:           "100B",
+		4 << 10:       "4.0KB",
+		155 << 20:     "155.0MB",
+		(3 << 30) / 2: "1.5GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	spec, _ := Lookup("w8a")
+	ds := Generate(spec.Scaled(0.01))
+	s := ComputeStats(ds).String()
+	if !strings.Contains(s, "w8a") || !strings.Contains(s, "density") {
+		t.Fatalf("stats string %q", s)
+	}
+}
+
+// mustCSR builds a small CSR from a coordinate map.
+func mustCSR(t *testing.T, rows, cols int, entries map[[2]int]float64) *sparse.CSR {
+	t.Helper()
+	b := sparse.NewBuilder(rows, cols)
+	for k, v := range entries {
+		b.Add(k[0], k[1], v)
+	}
+	m := b.Build()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

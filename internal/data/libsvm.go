@@ -1,0 +1,116 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// ReadLIBSVM parses the LIBSVM sparse text format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based in the file and converted to 0-based columns. Labels
+// are normalised to ±1 (0 and negative labels map to -1, everything else to
+// +1, matching common binary-classification usage of these datasets). If
+// numFeatures is 0 the width is inferred from the largest index seen.
+func ReadLIBSVM(r io.Reader, name string, numFeatures int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		rowPtr = []int64{0}
+		colIdx []int32
+		values []float64
+		labels []float64
+		maxCol int32 = -1
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm %s:%d: bad label %q: %w", name, lineNo, fields[0], err)
+		}
+		if label > 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("libsvm %s:%d: malformed pair %q", name, lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("libsvm %s:%d: bad index %q", name, lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("libsvm %s:%d: bad value %q: %w", name, lineNo, f[colon+1:], err)
+			}
+			c := int32(idx - 1)
+			if c <= prev {
+				return nil, fmt.Errorf("libsvm %s:%d: indices not increasing at %d", name, lineNo, idx)
+			}
+			prev = c
+			if c > maxCol {
+				maxCol = c
+			}
+			colIdx = append(colIdx, c)
+			values = append(values, val)
+		}
+		rowPtr = append(rowPtr, int64(len(values)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("libsvm %s: %w", name, err)
+	}
+	width := numFeatures
+	if width == 0 {
+		width = int(maxCol) + 1
+	} else if int(maxCol) >= width {
+		return nil, fmt.Errorf("libsvm %s: index %d exceeds declared width %d", name, maxCol+1, width)
+	}
+	d := &Dataset{
+		Name: name,
+		X: &sparse.CSR{
+			NumRows: len(labels), NumCols: width,
+			RowPtr: rowPtr, ColIdx: colIdx, Values: values,
+		},
+		Y: labels,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteLIBSVM serialises the dataset in LIBSVM format (1-based indices).
+func WriteLIBSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.N(); i++ {
+		if _, err := fmt.Fprintf(bw, "%+g", d.Y[i]); err != nil {
+			return err
+		}
+		cols, vals := d.X.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, " %d:%g", c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

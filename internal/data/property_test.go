@@ -1,0 +1,93 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the generator and transforms (testing/quick), per the
+// DESIGN testing strategy.
+
+func TestPropertyScaledAlwaysValid(t *testing.T) {
+	spec, _ := Lookup("rcv1")
+	f := func(raw uint32) bool {
+		factor := float64(raw%2_000_000) / 1_000_000 // [0, 2)
+		s := spec.Scaled(factor)
+		if s.N < 64 || s.N > spec.N {
+			return false
+		}
+		return s.D == spec.D && s.AvgNNZ == spec.AvgNNZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGeneratedDatasetsAlwaysValid(t *testing.T) {
+	// Any registry dataset at any small scale generates a structurally
+	// valid dataset whose nnz stay within the spec bounds.
+	names := Names()
+	f := func(pick uint8, nRaw uint16) bool {
+		spec, err := Lookup(names[int(pick)%len(names)])
+		if err != nil {
+			return false
+		}
+		n := 64 + int(nRaw)%700
+		ds := Generate(spec.Scaled(float64(n) / float64(spec.N)))
+		if ds.Validate() != nil {
+			return false
+		}
+		min, max, _ := ds.X.RowStats()
+		return min >= spec.MinNNZ && max <= spec.MaxNNZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGroupingNeverWidens(t *testing.T) {
+	spec, _ := Lookup("real-sim")
+	ds := Generate(spec.Scaled(600.0 / float64(spec.N)))
+	f := func(raw uint16) bool {
+		inputs := 1 + int(raw)%3000
+		out, err := GroupFeatures(ds, inputs)
+		if err != nil {
+			return false
+		}
+		if out.D() > ds.D() {
+			return false
+		}
+		if out.Validate() != nil {
+			return false
+		}
+		// Grouping can only merge entries: per-row nnz never grows.
+		for i := 0; i < out.N(); i++ {
+			if out.X.RowNNZ(i) > ds.X.RowNNZ(i) {
+				return false
+			}
+		}
+		st := ComputeStats(out)
+		return st.DensityPct <= 100+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLabelsAreSigns(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		spec, _ := Lookup("w8a")
+		s := spec.Scaled(0.005)
+		s.Seed = int64(seedRaw)
+		ds := Generate(s)
+		for _, y := range ds.Y {
+			if y != 1 && y != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one dataset of the study with the shape statistics of the
+// paper's Table I plus the MLP architecture used for it.
+type Spec struct {
+	Name string
+	N    int // number of examples at full scale
+	D    int // number of features
+
+	// Per-example nnz distribution targets (Table I "#nnz/exp").
+	MinNNZ int
+	MaxNNZ int
+	AvgNNZ float64
+
+	// MLPInputs is the input-layer width after the paper's
+	// feature-grouping transform (54/300/50/50/300).
+	MLPInputs int
+	// MLPHidden are the hidden layer widths (always 10, 5 in the paper).
+	MLPHidden []int
+	// MLPOutputs is the output layer width (always 2 in the paper).
+	MLPOutputs int
+
+	// NoiseRate is the label-noise level of the planted model: the
+	// standard deviation of Gaussian noise added to the planted margin
+	// before taking the sign. It controls the attainable optimal loss.
+	NoiseRate float64
+
+	// Seed makes generation deterministic per dataset.
+	Seed int64
+
+	// ZipfS is the skew of the feature-popularity distribution used to
+	// draw column indices for sparse rows (>1); 0 means uniform.
+	ZipfS float64
+}
+
+// Dense reports whether the dataset is complete (every feature present in
+// every example), i.e. covtype-like.
+func (s Spec) Dense() bool { return s.MinNNZ == s.D && s.MaxNNZ == s.D }
+
+// MLPLayers returns the full architecture as a widths slice, e.g.
+// [54 10 5 2], matching Table I's "MLP architecture" column.
+func (s Spec) MLPLayers() []int {
+	l := append([]int{s.MLPInputs}, s.MLPHidden...)
+	return append(l, s.MLPOutputs)
+}
+
+// ArchString renders the architecture like the paper: "54-10-5-2".
+func (s Spec) ArchString() string {
+	out := ""
+	for i, w := range s.MLPLayers() {
+		if i > 0 {
+			out += "-"
+		}
+		out += fmt.Sprintf("%d", w)
+	}
+	return out
+}
+
+// registry holds the five study datasets keyed by name, with the Table I
+// statistics as generation targets.
+var registry = map[string]Spec{
+	"covtype": {
+		Name: "covtype", N: 581012, D: 54,
+		MinNNZ: 54, MaxNNZ: 54, AvgNNZ: 54,
+		MLPInputs: 54, MLPHidden: []int{10, 5}, MLPOutputs: 2,
+		NoiseRate: 0.8, Seed: 4101,
+	},
+	"w8a": {
+		Name: "w8a", N: 64700, D: 300,
+		MinNNZ: 0, MaxNNZ: 114, AvgNNZ: 12,
+		MLPInputs: 300, MLPHidden: []int{10, 5}, MLPOutputs: 2,
+		NoiseRate: 0.5, Seed: 4102, ZipfS: 1.3,
+	},
+	"real-sim": {
+		Name: "real-sim", N: 72309, D: 20958,
+		MinNNZ: 1, MaxNNZ: 3484, AvgNNZ: 51,
+		MLPInputs: 50, MLPHidden: []int{10, 5}, MLPOutputs: 2,
+		NoiseRate: 0.3, Seed: 4103, ZipfS: 1.2,
+	},
+	"rcv1": {
+		Name: "rcv1", N: 677399, D: 47236,
+		MinNNZ: 4, MaxNNZ: 1224, AvgNNZ: 73,
+		MLPInputs: 50, MLPHidden: []int{10, 5}, MLPOutputs: 2,
+		NoiseRate: 0.3, Seed: 4104, ZipfS: 1.15,
+	},
+	"news": {
+		Name: "news", N: 19996, D: 1355191,
+		MinNNZ: 1, MaxNNZ: 16423, AvgNNZ: 455,
+		MLPInputs: 300, MLPHidden: []int{10, 5}, MLPOutputs: 2,
+		NoiseRate: 0.3, Seed: 4105, ZipfS: 1.1,
+	},
+}
+
+// Names returns the registry dataset names in the paper's Table I order.
+func Names() []string {
+	return []string{"covtype", "w8a", "real-sim", "rcv1", "news"}
+}
+
+// Lookup returns the Spec for a registered dataset name.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return Spec{}, fmt.Errorf("data: unknown dataset %q (have %v)", name, known)
+	}
+	return s, nil
+}
+
+// Scaled returns a copy of the spec with the example count scaled by factor
+// (dimensionality and sparsity targets are preserved — the paper's findings
+// depend on d and density, while N only stretches epochs). The result keeps
+// at least 64 examples.
+func (s Spec) Scaled(factor float64) Spec {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	n := int(float64(s.N) * factor)
+	if n < 64 {
+		n = 64
+	}
+	out := s
+	out.N = n
+	return out
+}

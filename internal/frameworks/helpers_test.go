@@ -1,0 +1,23 @@
+package frameworks
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/model"
+)
+
+// newViennaGPU builds our direct (ViennaCL-style) synchronous GPU engine for
+// comparator tests.
+func newViennaGPU(m model.BatchModel, ds *data.Dataset, factor float64) *core.SyncEngine {
+	b := linalg.NewK80()
+	b.WorkScale = factor
+	return core.NewSync(b, m, ds, 1)
+}
+
+// newViennaCPU builds our direct parallel-CPU engine.
+func newViennaCPU(m model.BatchModel, ds *data.Dataset, factor float64) *core.SyncEngine {
+	b := linalg.NewCPU(56)
+	b.WorkScale = factor
+	return core.NewSync(b, m, ds, 1)
+}

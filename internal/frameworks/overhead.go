@@ -1,0 +1,76 @@
+package frameworks
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Every primitive forwards to the wrapped backend and charges the dispatch
+// overhead, emulating graph-executed frameworks where each node crosses the
+// host/runtime boundary.
+
+// Gemv implements model.Ops.
+func (b *overheadBackend) Gemv(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	b.dispatch()
+	b.Backend.Gemv(alpha, a, x, beta, y)
+}
+
+// GemvT implements model.Ops.
+func (b *overheadBackend) GemvT(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	b.dispatch()
+	b.Backend.GemvT(alpha, a, x, beta, y)
+}
+
+// Gemm implements model.Ops.
+func (b *overheadBackend) Gemm(alpha float64, a, m *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	b.dispatch()
+	b.Backend.Gemm(alpha, a, m, beta, c)
+}
+
+// GemmNT implements model.Ops.
+func (b *overheadBackend) GemmNT(alpha float64, a, m *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	b.dispatch()
+	b.Backend.GemmNT(alpha, a, m, beta, c)
+}
+
+// GemmTN implements model.Ops.
+func (b *overheadBackend) GemmTN(alpha float64, a, m *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	b.dispatch()
+	b.Backend.GemmTN(alpha, a, m, beta, c)
+}
+
+// SpMV implements model.Ops.
+func (b *overheadBackend) SpMV(a *sparse.CSR, x, y []float64) {
+	b.dispatch()
+	b.Backend.SpMV(a, x, y)
+}
+
+// SpMVT implements model.Ops.
+func (b *overheadBackend) SpMVT(a *sparse.CSR, x, y []float64) {
+	b.dispatch()
+	b.Backend.SpMVT(a, x, y)
+}
+
+// Axpy implements model.Ops.
+func (b *overheadBackend) Axpy(alpha float64, x, y []float64) {
+	b.dispatch()
+	b.Backend.Axpy(alpha, x, y)
+}
+
+// Scal implements model.Ops.
+func (b *overheadBackend) Scal(alpha float64, x []float64) {
+	b.dispatch()
+	b.Backend.Scal(alpha, x)
+}
+
+// Map implements model.Ops.
+func (b *overheadBackend) Map(dst, src, aux []float64, f func(s, a float64) float64) {
+	b.dispatch()
+	b.Backend.Map(dst, src, aux, f)
+}
+
+// RowsMap implements model.Ops.
+func (b *overheadBackend) RowsMap(m *tensor.Matrix, f func(i int, row []float64)) {
+	b.dispatch()
+	b.Backend.RowsMap(m, f)
+}

@@ -1,0 +1,66 @@
+package gpusim
+
+import "sort"
+
+// Transactions returns the number of global-memory transactions a warp needs
+// to service loads of the given element indices, where each element is
+// elemSize bytes and a transaction fetches one txBytes-aligned segment. This
+// is the CUDA coalescing rule: consecutive aligned addresses merge into one
+// transaction; scattered addresses each pay their own.
+//
+// indices may contain duplicates (they hit the same segment) and need not be
+// sorted. A nil/empty slice costs zero transactions.
+func Transactions(indices []int64, elemSize, txBytes int64) int64 {
+	if len(indices) == 0 {
+		return 0
+	}
+	if elemSize <= 0 || txBytes <= 0 {
+		panic("gpusim: Transactions requires positive sizes")
+	}
+	perSeg := txBytes / elemSize
+	if perSeg == 0 {
+		// Element larger than a transaction: each element needs
+		// ceil(elemSize/txBytes) transactions.
+		per := (elemSize + txBytes - 1) / txBytes
+		segs := dedupSegments(indices, 1)
+		return int64(segs) * per
+	}
+	return int64(dedupSegments(indices, perSeg))
+}
+
+// dedupSegments counts distinct values of idx/perSeg.
+func dedupSegments(indices []int64, perSeg int64) int {
+	segs := make([]int64, len(indices))
+	for i, ix := range indices {
+		segs[i] = ix / perSeg
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	n := 0
+	for i, s := range segs {
+		if i == 0 || s != segs[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// WarpTraffic summarises the global-memory behaviour of one warp step.
+type WarpTraffic struct {
+	Transactions int64
+	Bytes        float64
+}
+
+// warpTraffic computes the traffic of a warp whose lanes access the given
+// per-lane element index lists (e.g. CSR column indices of each lane's
+// example), with each access counted `passes` times (read + write = 2).
+func (d *Device) warpTraffic(lanes [][]int64, elemSize int64, passes int) WarpTraffic {
+	var all []int64
+	for _, l := range lanes {
+		all = append(all, l...)
+	}
+	tx := Transactions(all, elemSize, d.Spec.TransactionBytes) * int64(passes)
+	return WarpTraffic{
+		Transactions: tx,
+		Bytes:        float64(tx) * float64(d.Spec.TransactionBytes),
+	}
+}

@@ -1,0 +1,287 @@
+package gpusim
+
+// LaneFunc computes the update of one training example against the current
+// shared model and reports it as (component, delta) pairs through emit. It
+// must treat the model as read-only: the executor decides which deltas land,
+// when, and which are lost to SIMT write conflicts.
+type LaneFunc func(item int, emit func(idx int, delta float64))
+
+// AsyncConfig tunes the simulated asynchronous (Hogwild) kernel.
+type AsyncConfig struct {
+	// Combine enables the warp-shuffle optimisation the paper mentions
+	// (Section IV-B): updates to the same component from lanes of the
+	// same warp are summed before the write, eliminating intra-warp lost
+	// updates. Inter-warp conflicts remain.
+	Combine bool
+	// MaxWarps caps the resident warps (0 = the device's occupancy
+	// limit). The paper notes this concurrency "is a lower bound that
+	// cannot be overcome" for conflicts.
+	MaxWarps int
+	// FlopsPerElement is the arithmetic per touched model component of
+	// one lane update (dot-product multiply-add plus update multiply-add
+	// = 4 for the linear models).
+	FlopsPerElement int
+	// ReadSupport reports how many model components evaluating one item
+	// *reads* (the gradient-support size), whether or not an update is
+	// emitted. SVM lanes whose margin is satisfied emit nothing but the
+	// kernel still gathers the example and the model; without this hook
+	// their cost would be zero. Nil means "reads equal emissions".
+	ReadSupport func(item int) int
+	// WarpPerExample switches the kernel layout: instead of one example
+	// per lane (32 concurrent examples per warp, divergent on skewed
+	// rows, conflicting on dense ones), the whole warp cooperates on a
+	// single example — its nnz are strided across lanes, accesses
+	// coalesce, divergence disappears, and there are no intra-warp
+	// update conflicts, but 32x fewer examples are in flight. This is
+	// the alternative data-access path the paper's extended version
+	// explores.
+	WarpPerExample bool
+}
+
+// AsyncStats reports one simulated epoch of the asynchronous kernel.
+type AsyncStats struct {
+	Rounds    int64 // lockstep rounds executed
+	Updates   int64 // component updates emitted by lanes
+	LostIntra int64 // updates lost to intra-warp write conflicts
+	LostInter int64 // updates lost to inter-warp write conflicts
+	Applied   int64 // component updates that landed in the model
+	Cost      Cost  // modeled kernel time for the epoch
+}
+
+// pendingDelta is one surviving (component, delta) after warp-level merging.
+type pendingDelta struct {
+	idx   int
+	delta float64
+}
+
+// RunAsyncEpoch executes one epoch of a Hogwild-style kernel over the given
+// items with SIMT semantics:
+//
+//   - items are partitioned contiguously over min(len(items), 32*R) logical
+//     threads, R being the resident-warp bound;
+//   - execution proceeds in lockstep rounds: every resident warp's lanes
+//     evaluate their next item against the round-entry model snapshot
+//     (the executor guarantees apply is not called while lanes run);
+//   - within a warp, unsynchronised writes to the same component collide:
+//     the last lane wins (or, with cfg.Combine, deltas are summed first);
+//   - across warps of the same round, writes to the same component also
+//     collide: the last warp wins;
+//   - surviving deltas are applied through apply between rounds.
+//
+// The returned stats carry the conflict counts and the modeled cost
+// (divergence-aware compute plus coalescing-derived memory traffic).
+func (d *Device) RunAsyncEpoch(items []int, cfg AsyncConfig, lane LaneFunc, apply func(idx int, delta float64)) AsyncStats {
+	var st AsyncStats
+	n := len(items)
+	if n == 0 {
+		st.Cost = d.finish(Cost{Launches: 1})
+		return st
+	}
+	if cfg.WarpPerExample {
+		return d.runWarpPerExample(items, cfg, lane, apply)
+	}
+	ws := d.Spec.WarpSize
+	maxWarps := cfg.MaxWarps
+	if maxWarps <= 0 {
+		maxWarps = d.Spec.MaxResidentWarps()
+	}
+	threads := maxWarps * ws
+	if threads > n {
+		threads = n
+	}
+	warps := (threads + ws - 1) / ws
+	chunk := (n + threads - 1) / threads
+	fpe := cfg.FlopsPerElement
+	if fpe <= 0 {
+		fpe = 4
+	}
+
+	// Per-lane emission buffers, reused across rounds.
+	laneIdx := make([][]int64, ws)
+	laneDelta := make([][]float64, ws)
+
+	// Round-level merge across warps: last writer wins per component.
+	roundWinner := make(map[int]pendingDelta)
+	// Warp-level merge buffer.
+	warpMerged := make(map[int]float64)
+
+	var cost Cost
+	cost.Launches = 1
+	for round := 0; round < chunk; round++ {
+		clear(roundWinner)
+		anyWork := false
+		for w := 0; w < warps; w++ {
+			var warpMaxLen int
+			lanesActive := 0
+			for l := 0; l < ws; l++ {
+				laneIdx[l] = laneIdx[l][:0]
+				laneDelta[l] = laneDelta[l][:0]
+				t := w*ws + l
+				if t >= threads {
+					continue
+				}
+				pos := t*chunk + round
+				if pos >= n || pos >= (t+1)*chunk {
+					continue
+				}
+				lanesActive++
+				li, ld := laneIdx[l], laneDelta[l]
+				lane(items[pos], func(idx int, delta float64) {
+					li = append(li, int64(idx))
+					ld = append(ld, delta)
+				})
+				laneIdx[l], laneDelta[l] = li, ld
+				laneLen := len(li)
+				if cfg.ReadSupport != nil {
+					if reads := cfg.ReadSupport(items[pos]); reads > laneLen {
+						// Read-only work: example stream, model
+						// gather, margin arithmetic — no write.
+						extra := reads - laneLen
+						cost.Flops += float64(extra) * float64(fpe) / 2
+						cost.Bytes += float64(extra) * 20 // 12B CSR + 8B gather
+						laneLen = reads
+					}
+				}
+				if laneLen > warpMaxLen {
+					warpMaxLen = laneLen
+				}
+			}
+			if lanesActive == 0 {
+				continue
+			}
+			anyWork = true
+
+			// Merge lanes within the warp.
+			clear(warpMerged)
+			var emitted int64
+			for l := 0; l < ws; l++ {
+				for k, ix := range laneIdx[l] {
+					emitted++
+					idx := int(ix)
+					if cfg.Combine {
+						warpMerged[idx] += laneDelta[l][k]
+					} else {
+						if _, dup := warpMerged[idx]; dup {
+							st.LostIntra++
+						}
+						warpMerged[idx] = laneDelta[l][k] // last lane wins
+					}
+				}
+			}
+			st.Updates += emitted
+
+			// Merge across warps of this round: last warp wins.
+			for idx, delta := range warpMerged {
+				if _, dup := roundWinner[idx]; dup {
+					st.LostInter++
+				}
+				roundWinner[idx] = pendingDelta{idx, delta}
+			}
+
+			// Cost accounting for this warp-round: divergence makes
+			// every lane pay for the longest lane; model reads and
+			// writes follow the coalescing rule; the example data
+			// itself streams from contiguous CSR storage.
+			cost.Flops += float64(emitted) * float64(fpe)
+			cost.LockstepOps += float64(ws*warpMaxLen) * float64(fpe)
+			tr := d.warpTraffic(laneIdx[:ws], 8, 2) // model read + write
+			cost.Transactions += tr.Transactions
+			// Scattered read-modify-write traffic replays and
+			// write-allocates: it sustains roughly a third of the
+			// streaming bandwidth, so count it threefold.
+			cost.Bytes += tr.Bytes * 3
+			cost.Bytes += float64(emitted) * 12 // CSR value + column index stream
+		}
+		if !anyWork {
+			break
+		}
+		st.Rounds++
+		for _, pd := range roundWinner {
+			apply(pd.idx, pd.delta)
+			st.Applied++
+		}
+	}
+	st.Cost = d.finish(cost)
+	return st
+}
+
+// runWarpPerExample executes the cooperative layout: each resident warp
+// processes one example per round, with the example's components strided
+// across its 32 lanes. See AsyncConfig.WarpPerExample.
+func (d *Device) runWarpPerExample(items []int, cfg AsyncConfig, lane LaneFunc, apply func(idx int, delta float64)) AsyncStats {
+	var st AsyncStats
+	n := len(items)
+	ws := d.Spec.WarpSize
+	maxWarps := cfg.MaxWarps
+	if maxWarps <= 0 {
+		maxWarps = d.Spec.MaxResidentWarps()
+	}
+	warps := maxWarps
+	if warps > n {
+		warps = n
+	}
+	chunk := (n + warps - 1) / warps
+	fpe := cfg.FlopsPerElement
+	if fpe <= 0 {
+		fpe = 4
+	}
+
+	idxBuf := make([]int64, 0, 1024)
+	deltaBuf := make([]float64, 0, 1024)
+	roundWinner := make(map[int]pendingDelta)
+
+	var cost Cost
+	cost.Launches = 1
+	for round := 0; round < chunk; round++ {
+		clear(roundWinner)
+		anyWork := false
+		for wp := 0; wp < warps; wp++ {
+			pos := wp*chunk + round
+			if pos >= n || pos >= (wp+1)*chunk {
+				continue
+			}
+			anyWork = true
+			idxBuf = idxBuf[:0]
+			deltaBuf = deltaBuf[:0]
+			lane(items[pos], func(idx int, delta float64) {
+				idxBuf = append(idxBuf, int64(idx))
+				deltaBuf = append(deltaBuf, delta)
+			})
+			if cfg.ReadSupport != nil {
+				if reads := cfg.ReadSupport(items[pos]); reads > len(idxBuf) {
+					extra := reads - len(idxBuf)
+					cost.Flops += float64(extra) * float64(fpe) / 2
+					cost.Bytes += float64(extra) * 20
+				}
+			}
+			// One example per warp: no intra-warp conflicts by
+			// construction. Cross-warp last-writer-wins remains.
+			for k, ix := range idxBuf {
+				if _, dup := roundWinner[int(ix)]; dup {
+					st.LostInter++
+				}
+				roundWinner[int(ix)] = pendingDelta{int(ix), deltaBuf[k]}
+			}
+			st.Updates += int64(len(idxBuf))
+			// Lanes stride the example's components: lockstep slots
+			// round up to warp multiples but no lane waits on a
+			// longer neighbour.
+			slots := (len(idxBuf) + ws - 1) / ws * ws
+			cost.Flops += float64(len(idxBuf)) * float64(fpe)
+			cost.LockstepOps += float64(slots) * float64(fpe)
+			tx := Transactions(idxBuf, 8, d.Spec.TransactionBytes) * 2
+			cost.Transactions += tx
+			cost.Bytes += float64(tx)*float64(d.Spec.TransactionBytes)*3 + float64(len(idxBuf))*12
+		}
+		if !anyWork {
+			break
+		}
+		st.Rounds++
+		for _, pd := range roundWinner {
+			apply(pd.idx, pd.delta)
+			st.Applied++
+		}
+	}
+	st.Cost = d.finish(cost)
+	return st
+}

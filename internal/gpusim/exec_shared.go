@@ -1,0 +1,146 @@
+package gpusim
+
+// RunAsyncEpochShared executes the asynchronous kernel with per-block model
+// replication in shared memory — one of the GPU-specific optimisations the
+// paper's extended version develops for its asynchronous implementation:
+// when the model fits an MP's shared memory (48 KB = 6144 float64 on the
+// K80), every thread block keeps a private replica, updates race only within
+// the block, and replicas are averaged back to global memory at the end of
+// the pass.
+//
+// Compared with RunAsyncEpoch this trades statistical efficiency (replicas
+// drift apart during the pass, like DimmWitted's PerNode on the CPU) for
+// hardware efficiency: the scattered model traffic moves to shared memory
+// and only the streaming example data plus one flush per block touch global
+// memory.
+//
+// nParams must satisfy nParams*8 <= Spec.SharedMemPerMP, or the call panics
+// — the caller is expected to fall back to RunAsyncEpoch.
+func (d *Device) RunAsyncEpochShared(nParams int, items []int, cfg AsyncConfig, read func(idx int) float64, lane func(item int, replica []float64, emit func(idx int, delta float64)), write func(idx int, v float64)) AsyncStats {
+	if int64(nParams)*8 > d.Spec.SharedMemPerMP {
+		panic("gpusim: model does not fit shared memory; use RunAsyncEpoch")
+	}
+	var st AsyncStats
+	n := len(items)
+	if n == 0 {
+		st.Cost = d.finish(Cost{Launches: 1})
+		return st
+	}
+	ws := d.Spec.WarpSize
+	warpsPerBlock := 8
+	maxWarps := cfg.MaxWarps
+	if maxWarps <= 0 {
+		maxWarps = d.Spec.MaxResidentWarps()
+	}
+	blocks := (maxWarps + warpsPerBlock - 1) / warpsPerBlock
+	threadsPerBlock := warpsPerBlock * ws
+	threads := blocks * threadsPerBlock
+	if threads > n {
+		threads = n
+		blocks = (threads + threadsPerBlock - 1) / threadsPerBlock
+	}
+	chunk := (n + threads - 1) / threads
+	fpe := cfg.FlopsPerElement
+	if fpe <= 0 {
+		fpe = 4
+	}
+
+	// Per-block shared-memory replicas seeded from global memory.
+	replicas := make([][]float64, blocks)
+	for b := range replicas {
+		replicas[b] = make([]float64, nParams)
+		for j := 0; j < nParams; j++ {
+			replicas[b][j] = read(j)
+		}
+	}
+
+	laneIdx := make([][]int64, ws)
+	laneDelta := make([][]float64, ws)
+	merged := make(map[int]float64)
+
+	var cost Cost
+	cost.Launches = 1
+	// Initial replica load + final flush are the only global model
+	// traffic: coalesced streams.
+	cost.Bytes += float64(blocks) * float64(nParams) * 8 * 2
+
+	for round := 0; round < chunk; round++ {
+		anyWork := false
+		for b := 0; b < blocks; b++ {
+			rep := replicas[b]
+			for wp := 0; wp < warpsPerBlock; wp++ {
+				warpThread0 := (b*warpsPerBlock + wp) * ws
+				var warpMaxLen int
+				lanesActive := 0
+				for l := 0; l < ws; l++ {
+					laneIdx[l] = laneIdx[l][:0]
+					laneDelta[l] = laneDelta[l][:0]
+					t := warpThread0 + l
+					if t >= threads {
+						continue
+					}
+					pos := t*chunk + round
+					if pos >= n || pos >= (t+1)*chunk {
+						continue
+					}
+					lanesActive++
+					li, ld := laneIdx[l], laneDelta[l]
+					lane(items[pos], rep, func(idx int, delta float64) {
+						li = append(li, int64(idx))
+						ld = append(ld, delta)
+					})
+					laneIdx[l], laneDelta[l] = li, ld
+					if len(li) > warpMaxLen {
+						warpMaxLen = len(li)
+					}
+				}
+				if lanesActive == 0 {
+					continue
+				}
+				anyWork = true
+				clear(merged)
+				var emitted int64
+				for l := 0; l < ws; l++ {
+					for k, ix := range laneIdx[l] {
+						emitted++
+						idx := int(ix)
+						if cfg.Combine {
+							merged[idx] += laneDelta[l][k]
+						} else {
+							if _, dup := merged[idx]; dup {
+								st.LostIntra++
+							}
+							merged[idx] = laneDelta[l][k]
+						}
+					}
+				}
+				st.Updates += emitted
+				for idx, delta := range merged {
+					rep[idx] += delta
+					st.Applied++
+				}
+				// Shared-memory accesses are effectively free next
+				// to global traffic; only the example stream and
+				// compute are charged.
+				cost.Flops += float64(emitted) * float64(fpe)
+				cost.LockstepOps += float64(ws*warpMaxLen) * float64(fpe)
+				cost.Bytes += float64(emitted) * 12 // CSR stream
+			}
+		}
+		if !anyWork {
+			break
+		}
+		st.Rounds++
+	}
+	// Average the replicas back to global memory.
+	inv := 1 / float64(blocks)
+	for j := 0; j < nParams; j++ {
+		var s float64
+		for b := 0; b < blocks; b++ {
+			s += replicas[b][j]
+		}
+		write(j, s*inv)
+	}
+	st.Cost = d.finish(cost)
+	return st
+}

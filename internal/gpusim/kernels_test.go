@@ -1,0 +1,133 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sparse"
+)
+
+func uniformCSR(rng *rand.Rand, rows, cols, perRow int) *sparse.CSR {
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		seen := map[int]bool{}
+		for len(seen) < perRow {
+			c := rng.Intn(cols)
+			if !seen[c] {
+				seen[c] = true
+				b.Add(i, c, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestCostSpMVDivergence(t *testing.T) {
+	// A matrix with one long row per warp diverges; a uniform one does
+	// not.
+	rng := rand.New(rand.NewSource(1))
+	uniform := uniformCSR(rng, 64, 1000, 10)
+	cu := K80().CostSpMV(uniform)
+	if ratio := cu.LockstepOps / cu.Flops; ratio != 1 {
+		t.Fatalf("uniform rows diverged: %v", ratio)
+	}
+
+	b := sparse.NewBuilder(64, 1000)
+	for i := 0; i < 64; i++ {
+		n := 1
+		if i%32 == 0 {
+			n = 100
+		}
+		for c := 0; c < n; c++ {
+			b.Add(i, c, 1)
+		}
+	}
+	skew := b.Build()
+	cs := K80().CostSpMV(skew)
+	if cs.LockstepOps/cs.Flops < 5 {
+		t.Fatalf("skewed rows did not diverge: %v", cs.LockstepOps/cs.Flops)
+	}
+}
+
+func TestCostSpMVTCostsMoreThanSpMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := uniformCSR(rng, 128, 5000, 20)
+	d := K80()
+	if d.CostSpMVT(m).Bytes <= d.CostSpMV(m).Bytes {
+		t.Fatal("scatter-add not more expensive than gather")
+	}
+}
+
+func TestSparseL2GatherFlag(t *testing.T) {
+	// BIDMach-style dense-optimized kernels (no texture gather) must pay
+	// more for the same sparse matrix.
+	rng := rand.New(rand.NewSource(3))
+	m := uniformCSR(rng, 256, 100000, 30)
+	vienna := K80()
+	dense := NewDevice(hw.PaperGPU())
+	dense.SparseL2Gather = false
+	cv := vienna.CostSpMV(m)
+	cd := dense.CostSpMV(m)
+	if cd.Bytes <= cv.Bytes {
+		t.Fatalf("dense-optimized gather bytes %v <= texture-path %v", cd.Bytes, cv.Bytes)
+	}
+	if cd.Seconds < cv.Seconds {
+		t.Fatalf("dense-optimized kernel faster: %v < %v", cd.Seconds, cv.Seconds)
+	}
+}
+
+func TestRescaleScalesWorkNotLaunch(t *testing.T) {
+	d := K80()
+	c := d.CostGemv(1000, 1000)
+	r := d.Rescale(c, 10)
+	if r.Flops != 10*c.Flops || r.Bytes != 10*c.Bytes {
+		t.Fatalf("work not scaled: %+v", r)
+	}
+	if r.Launches != c.Launches {
+		t.Fatalf("launches scaled: %d vs %d", r.Launches, c.Launches)
+	}
+	if r.Seconds <= c.Seconds {
+		t.Fatal("time did not grow with work")
+	}
+	// Scaling a launch-dominated kernel barely changes its time.
+	tiny := d.CostElementwise(4, 1, 1, 1)
+	rt := d.Rescale(tiny, 10)
+	if rt.Seconds > 2*tiny.Seconds {
+		t.Fatalf("launch-dominated kernel scaled with work: %v -> %v", tiny.Seconds, rt.Seconds)
+	}
+}
+
+func TestCostSpMVScalesWithNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := uniformCSR(rng, 100, 2000, 5)
+	big := uniformCSR(rng, 100, 2000, 50)
+	d := K80()
+	if d.CostSpMV(big).Seconds <= d.CostSpMV(small).Seconds {
+		t.Fatal("10x nnz not more expensive")
+	}
+}
+
+func TestAsyncScatteredTrafficAmplified(t *testing.T) {
+	// The async kernel's scattered read-modify-write traffic is counted
+	// with the replay amplification; a dense clustered update pattern
+	// must therefore still be cheaper than a scattered one of the same
+	// element count (beyond plain transaction counting).
+	d := K80()
+	items := make([]int, 256)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(spread int) Cost {
+		st := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 4},
+			func(item int, emit func(int, float64)) {
+				for j := 0; j < 8; j++ {
+					emit((item*8+j)*spread, 1)
+				}
+			}, func(int, float64) {})
+		return st.Cost
+	}
+	if run(1000).Bytes <= run(1).Bytes {
+		t.Fatal("scatter amplification missing")
+	}
+}

@@ -1,0 +1,56 @@
+package gpusim
+
+import "testing"
+
+func TestReadSupportChargesSilentLanes(t *testing.T) {
+	// An SVM-like epoch where no lane emits must still pay for reading
+	// the examples and the model.
+	d := K80()
+	items := make([]int, 256)
+	for i := range items {
+		items[i] = i
+	}
+	silent := func(item int, emit func(int, float64)) {} // margins satisfied
+	without := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 4}, silent, func(int, float64) {})
+	with := d.RunAsyncEpoch(items, AsyncConfig{
+		MaxWarps:    4,
+		ReadSupport: func(item int) int { return 50 },
+	}, silent, func(int, float64) {})
+	if with.Cost.Bytes <= without.Cost.Bytes {
+		t.Fatalf("read support not charged: %v <= %v bytes", with.Cost.Bytes, without.Cost.Bytes)
+	}
+	if with.Cost.Seconds <= without.Cost.Seconds {
+		t.Fatalf("read support not slower: %v <= %v", with.Cost.Seconds, without.Cost.Seconds)
+	}
+	// Same for the warp-per-example layout.
+	withWarp := d.RunAsyncEpoch(items, AsyncConfig{
+		MaxWarps:       4,
+		WarpPerExample: true,
+		ReadSupport:    func(item int) int { return 50 },
+	}, silent, func(int, float64) {})
+	if withWarp.Cost.Bytes <= 0 {
+		t.Fatal("warp-per-example read support not charged")
+	}
+}
+
+func TestReadSupportNoDoubleChargeWhenEmitting(t *testing.T) {
+	// When every component is emitted, ReadSupport adds nothing.
+	d := K80()
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	emitAll := func(item int, emit func(int, float64)) {
+		for j := 0; j < 8; j++ {
+			emit(j, 1)
+		}
+	}
+	plain := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 2}, emitAll, func(int, float64) {})
+	withRS := d.RunAsyncEpoch(items, AsyncConfig{
+		MaxWarps:    2,
+		ReadSupport: func(item int) int { return 8 },
+	}, emitAll, func(int, float64) {})
+	if plain.Cost.Bytes != withRS.Cost.Bytes {
+		t.Fatalf("double charge: %v vs %v bytes", plain.Cost.Bytes, withRS.Cost.Bytes)
+	}
+}

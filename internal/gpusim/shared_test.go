@@ -1,0 +1,174 @@
+package gpusim
+
+import "testing"
+
+func TestSharedEpochProcessesEveryItem(t *testing.T) {
+	d := K80()
+	for _, n := range []int{1, 33, 257, 1000} {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		visited := make([]bool, n)
+		w := make([]float64, 16)
+		d.RunAsyncEpochShared(16, items, AsyncConfig{MaxWarps: 16},
+			func(idx int) float64 { return w[idx] },
+			func(item int, replica []float64, emit func(int, float64)) {
+				visited[item] = true
+			},
+			func(idx int, v float64) { w[idx] = v })
+		for i, v := range visited {
+			if !v {
+				t.Fatalf("n=%d: item %d not visited", n, i)
+			}
+		}
+	}
+}
+
+func TestSharedEpochAveragesReplicas(t *testing.T) {
+	// Two blocks, each lane adds 1 to component 0 of its replica; the
+	// final global value must be the replica average, not the sum.
+	d := K80()
+	items := make([]int, 512)
+	for i := range items {
+		items[i] = i
+	}
+	w := make([]float64, 4)
+	st := d.RunAsyncEpochShared(4, items, AsyncConfig{MaxWarps: 16, Combine: true},
+		func(idx int) float64 { return w[idx] },
+		func(item int, replica []float64, emit func(int, float64)) {
+			emit(0, 1)
+		},
+		func(idx int, v float64) { w[idx] = v })
+	if st.Updates != 512 {
+		t.Fatalf("updates = %d", st.Updates)
+	}
+	// With Combine, every emitted update lands in some replica; the
+	// average over blocks must equal total/blocks and hence be positive
+	// but no larger than the total.
+	if w[0] <= 0 || w[0] > 512 {
+		t.Fatalf("averaged value %v out of range", w[0])
+	}
+}
+
+func TestSharedEpochNoGlobalModelTraffic(t *testing.T) {
+	// The shared-memory variant's model traffic is one load + one flush
+	// per block: for the same workload it must move far fewer bytes than
+	// the flat kernel, whose scattered RMW traffic is amplified.
+	d := K80()
+	items := make([]int, 2048)
+	for i := range items {
+		items[i] = i
+	}
+	lane := func(item int, emit func(int, float64)) {
+		for j := 0; j < 32; j++ {
+			emit((item*31+j*97)%4096, 1)
+		}
+	}
+	flat := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 16}, lane, func(int, float64) {})
+	w := make([]float64, 4096)
+	shared := d.RunAsyncEpochShared(4096, items, AsyncConfig{MaxWarps: 16},
+		func(idx int) float64 { return w[idx] },
+		func(item int, replica []float64, emit func(int, float64)) { lane(item, emit) },
+		func(idx int, v float64) { w[idx] = v })
+	if shared.Cost.Bytes >= flat.Cost.Bytes {
+		t.Fatalf("shared-memory variant not cheaper: %v >= %v bytes",
+			shared.Cost.Bytes, flat.Cost.Bytes)
+	}
+	if shared.Cost.Seconds >= flat.Cost.Seconds {
+		t.Fatalf("shared-memory variant not faster: %v >= %v",
+			shared.Cost.Seconds, flat.Cost.Seconds)
+	}
+}
+
+func TestSharedEpochRejectsOversizedModel(t *testing.T) {
+	d := K80()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized model did not panic")
+		}
+	}()
+	d.RunAsyncEpochShared(1<<20, []int{0}, AsyncConfig{},
+		func(int) float64 { return 0 },
+		func(int, []float64, func(int, float64)) {},
+		func(int, float64) {})
+}
+
+func TestWarpPerExampleNoIntraConflictsNoDivergence(t *testing.T) {
+	d := K80()
+	items := make([]int, 128)
+	for i := range items {
+		items[i] = i
+	}
+	// Dense lane function that would conflict heavily under the
+	// one-example-per-lane layout.
+	st := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 4, WarpPerExample: true},
+		denseLane(16), func(int, float64) {})
+	if st.LostIntra != 0 {
+		t.Fatalf("warp-per-example produced intra-warp conflicts: %+v", st)
+	}
+	if st.Updates != 128*16 {
+		t.Fatalf("updates = %d", st.Updates)
+	}
+	// Cross-warp conflicts remain (4 warps write the same 16 components).
+	if st.LostInter == 0 {
+		t.Fatal("no inter-warp conflicts on a shared dense model")
+	}
+	if st.Applied+st.LostInter != st.Updates {
+		t.Fatalf("accounting leak: %+v", st)
+	}
+}
+
+func TestWarpPerExampleVisitsEverything(t *testing.T) {
+	d := K80()
+	for _, n := range []int{1, 7, 64, 500} {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		visited := make([]bool, n)
+		d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 6, WarpPerExample: true},
+			func(item int, emit func(int, float64)) { visited[item] = true },
+			func(int, float64) {})
+		for i, v := range visited {
+			if !v {
+				t.Fatalf("n=%d: item %d unvisited", n, i)
+			}
+		}
+	}
+}
+
+func TestWarpPerExampleFewerConflictsThanLanePerExample(t *testing.T) {
+	d := K80()
+	items := make([]int, 512)
+	for i := range items {
+		items[i] = i
+	}
+	lanePer := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 8}, denseLane(8), func(int, float64) {})
+	warpPer := d.RunAsyncEpoch(items, AsyncConfig{MaxWarps: 8, WarpPerExample: true}, denseLane(8), func(int, float64) {})
+	lostLane := lanePer.LostIntra + lanePer.LostInter
+	lostWarp := warpPer.LostIntra + warpPer.LostInter
+	if lostWarp >= lostLane {
+		t.Fatalf("warp-per-example lost %d >= lane-per-example %d", lostWarp, lostLane)
+	}
+}
+
+func TestSharedEpochIntraWarpConflictsStillCounted(t *testing.T) {
+	d := K80()
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	w := make([]float64, 8)
+	st := d.RunAsyncEpochShared(8, items, AsyncConfig{MaxWarps: 2},
+		func(idx int) float64 { return w[idx] },
+		func(item int, replica []float64, emit func(int, float64)) {
+			for j := 0; j < 8; j++ {
+				emit(j, 1)
+			}
+		},
+		func(idx int, v float64) { w[idx] = v })
+	if st.LostIntra == 0 {
+		t.Fatal("dense lanes in one warp should still conflict")
+	}
+}

@@ -1,0 +1,175 @@
+// Package hw describes the computing architectures the study models: a
+// dual-socket NUMA multi-core CPU and a many-core SIMT GPU. The constructors
+// PaperCPU and PaperGPU reproduce the hardware specification table (Fig. 5)
+// of the paper: a 2x Intel Xeon E5-2660 v4 machine and one card of an NVIDIA
+// Tesla K80.
+//
+// All sizes are in bytes, all clock rates in Hz, all bandwidths in bytes per
+// second. The specs feed the analytic cost models in internal/numa and
+// internal/gpusim; they are plain data and carry no behaviour beyond derived
+// quantities (total cores, peak FLOPS, ...).
+package hw
+
+// CacheSpec describes one level of a cache hierarchy.
+type CacheSpec struct {
+	Size      int64   // capacity in bytes
+	LineSize  int64   // cache line size in bytes
+	LatencyNS float64 // load-to-use latency in nanoseconds
+	// BandwidthBPS is the sustainable read bandwidth of this level, per
+	// core for private caches and per socket for shared ones.
+	BandwidthBPS float64
+	Shared       bool // true if shared by all cores of a socket (e.g. L3)
+}
+
+// CPUSpec describes a NUMA multi-core CPU machine.
+type CPUSpec struct {
+	Name           string
+	Sockets        int     // NUMA nodes
+	CoresPerSocket int     // physical cores per socket
+	ThreadsPerCore int     // hardware threads per core (SMT)
+	ClockHz        float64 // nominal core clock
+	// FlopsPerCycle is the peak double-precision FLOPs one core retires
+	// per cycle (vector width x FMA).
+	FlopsPerCycle float64
+	L1D, L2, L3   CacheSpec
+	// DRAMBandwidthBPS is the per-socket memory bandwidth to the locally
+	// attached DRAM region.
+	DRAMBandwidthBPS float64
+	DRAMLatencyNS    float64
+	// InterconnectBPS is the bandwidth of the socket-to-socket link (QPI);
+	// remote DRAM and coherence traffic cross it.
+	InterconnectBPS     float64
+	InterconnectLatency float64 // extra latency for remote access, ns
+	DRAMBytes           int64   // total installed memory
+}
+
+// TotalCores returns the number of physical cores in the machine.
+func (c *CPUSpec) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// TotalThreads returns the number of hardware threads in the machine.
+func (c *CPUSpec) TotalThreads() int { return c.TotalCores() * c.ThreadsPerCore }
+
+// PeakFlops returns the machine-wide peak FLOP/s.
+func (c *CPUSpec) PeakFlops() float64 {
+	return float64(c.TotalCores()) * c.ClockHz * c.FlopsPerCycle
+}
+
+// CoreFlops returns the peak FLOP/s of a single core.
+func (c *CPUSpec) CoreFlops() float64 { return c.ClockHz * c.FlopsPerCycle }
+
+// AggregateCache returns the total capacity in bytes of the given private
+// cache level summed over n cores, or of the shared level summed over the
+// sockets hosting those cores.
+func (c *CPUSpec) AggregateCache(level CacheSpec, threads int) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	cores := (threads + c.ThreadsPerCore - 1) / c.ThreadsPerCore
+	if cores > c.TotalCores() {
+		cores = c.TotalCores()
+	}
+	if level.Shared {
+		sockets := (cores + c.CoresPerSocket - 1) / c.CoresPerSocket
+		return level.Size * int64(sockets)
+	}
+	return level.Size * int64(cores)
+}
+
+// GPUSpec describes a SIMT GPU device.
+type GPUSpec struct {
+	Name            string
+	MPs             int     // streaming multiprocessors
+	CoresPerMP      int     // CUDA cores per MP
+	WarpSize        int     // SIMT width (threads per warp)
+	MaxThreadsPerMP int     // resident thread limit per MP
+	MaxBlocksPerMP  int     // resident block limit per MP
+	ClockHz         float64 // core clock
+	// FlopsPerCoreCycle is FLOPs per CUDA core per cycle (FMA = 2).
+	FlopsPerCoreCycle float64
+	SharedMemPerMP    int64 // shared memory per MP, bytes
+	L1PerMP           int64 // L1 cache per MP, bytes
+	L2                int64 // device-wide L2, bytes
+	GlobalMemBytes    int64 // device RAM
+	// GlobalBandwidthBPS is the global-memory bandwidth.
+	GlobalBandwidthBPS float64
+	GlobalLatencyNS    float64 // uncached global load latency
+	// TransactionBytes is the size of one global-memory transaction
+	// segment; a fully coalesced 32-lane float64 warp load needs
+	// 32*8/TransactionBytes transactions, while a fully scattered one
+	// pays TransactionBytes per element touched.
+	TransactionBytes int64
+	// KernelLaunchNS is the fixed host-side cost of launching one kernel.
+	KernelLaunchNS float64
+}
+
+// PeakFlops returns the device-wide peak FLOP/s.
+func (g *GPUSpec) PeakFlops() float64 {
+	return float64(g.MPs*g.CoresPerMP) * g.ClockHz * g.FlopsPerCoreCycle
+}
+
+// MaxResidentWarps returns the number of warps that can be simultaneously
+// resident on the whole device; it bounds the effective concurrency of an
+// asynchronous (Hogwild-style) GPU kernel.
+func (g *GPUSpec) MaxResidentWarps() int {
+	return g.MPs * g.MaxThreadsPerMP / g.WarpSize
+}
+
+// PaperCPU returns the study's NUMA machine: two 14-core 28-thread Intel Xeon
+// E5-2660 v4 sockets (56 hardware threads), 256 GB DRAM, 35 MB shared L3 per
+// socket, as listed in the paper's Fig. 5.
+func PaperCPU() *CPUSpec {
+	return &CPUSpec{
+		Name:           "2x Intel Xeon E5-2660 v4",
+		Sockets:        2,
+		CoresPerSocket: 14,
+		ThreadsPerCore: 2,
+		ClockHz:        2.0e9,
+		// AVX2: 4 doubles x 2 (FMA) x 2 ports = 16 DP FLOPs/cycle peak;
+		// we use a sustained 8 to reflect non-FMA-dominated kernels.
+		FlopsPerCycle: 8,
+		L1D: CacheSpec{
+			Size: 32 << 10, LineSize: 64, LatencyNS: 1.5,
+			BandwidthBPS: 150e9,
+		},
+		L2: CacheSpec{
+			Size: 256 << 10, LineSize: 64, LatencyNS: 4,
+			BandwidthBPS: 80e9,
+		},
+		L3: CacheSpec{
+			Size: 35 << 20, LineSize: 64, LatencyNS: 18,
+			BandwidthBPS: 250e9, Shared: true,
+		},
+		DRAMBandwidthBPS:    68e9, // 4-channel DDR4-2133 per socket
+		DRAMLatencyNS:       90,
+		InterconnectBPS:     38e9, // 2x QPI 9.6 GT/s
+		InterconnectLatency: 130,
+		DRAMBytes:           256 << 30,
+	}
+}
+
+// PaperGPU returns one card of the study's NVIDIA Tesla K80 (GK210): 13 MPs x
+// 192 cores = 2496 cores, 32-wide warps, 12 GB global memory, 1.5 MB L2, as
+// listed in the paper's Fig. 5.
+func PaperGPU() *GPUSpec {
+	return &GPUSpec{
+		Name:               "NVIDIA Tesla K80 (one GK210)",
+		MPs:                13,
+		CoresPerMP:         192,
+		WarpSize:           32,
+		MaxThreadsPerMP:    2048,
+		MaxBlocksPerMP:     16,
+		ClockHz:            0.875e9, // boost clock
+		FlopsPerCoreCycle:  2,       // FMA; K80 DP ratio folded into cores
+		SharedMemPerMP:     48 << 10,
+		L1PerMP:            48 << 10,
+		L2:                 3 << 19, // 1.5 MB
+		GlobalMemBytes:     12 << 30,
+		GlobalBandwidthBPS: 240e9,
+		GlobalLatencyNS:    400,
+		// Kepler services cached global loads at 128-byte line
+		// granularity; scattered gathers therefore move 16x the useful
+		// data — the sparse-kernel penalty the paper observes.
+		TransactionBytes: 128,
+		KernelLaunchNS:   8000,
+	}
+}

@@ -1,0 +1,72 @@
+package hw
+
+import "testing"
+
+func TestPaperCPUMatchesFig5(t *testing.T) {
+	c := PaperCPU()
+	if c.Sockets != 2 || c.CoresPerSocket != 14 || c.ThreadsPerCore != 2 {
+		t.Fatalf("topology %d/%d/%d", c.Sockets, c.CoresPerSocket, c.ThreadsPerCore)
+	}
+	if c.TotalThreads() != 56 {
+		t.Fatalf("threads = %d", c.TotalThreads())
+	}
+	if c.L1D.Size != 32<<10 || c.L2.Size != 256<<10 || c.L3.Size != 35<<20 {
+		t.Fatalf("caches %d/%d/%d", c.L1D.Size, c.L2.Size, c.L3.Size)
+	}
+	if !c.L3.Shared || c.L1D.Shared || c.L2.Shared {
+		t.Fatal("cache sharing flags wrong")
+	}
+	if c.DRAMBytes != 256<<30 {
+		t.Fatalf("DRAM = %d", c.DRAMBytes)
+	}
+	if c.PeakFlops() <= 0 || c.CoreFlops() <= 0 {
+		t.Fatal("non-positive peak flops")
+	}
+	if c.PeakFlops() != c.CoreFlops()*28 {
+		t.Fatal("machine peak != 28 x core peak")
+	}
+}
+
+func TestPaperGPUMatchesFig5(t *testing.T) {
+	g := PaperGPU()
+	if g.MPs != 13 || g.CoresPerMP != 192 {
+		t.Fatalf("MPs/cores %d/%d", g.MPs, g.CoresPerMP)
+	}
+	if g.MPs*g.CoresPerMP != 2496 {
+		t.Fatalf("total cores %d, want 2496", g.MPs*g.CoresPerMP)
+	}
+	if g.WarpSize != 32 {
+		t.Fatalf("warp = %d", g.WarpSize)
+	}
+	if g.GlobalMemBytes != 12<<30 {
+		t.Fatalf("global mem = %d, want 12GB", g.GlobalMemBytes)
+	}
+	if g.L2 != 3<<19 {
+		t.Fatalf("L2 = %d, want 1.5MB", g.L2)
+	}
+	if g.SharedMemPerMP != 48<<10 || g.L1PerMP != 48<<10 {
+		t.Fatal("shared/L1 sizes wrong")
+	}
+}
+
+func TestAggregateCacheEdges(t *testing.T) {
+	c := PaperCPU()
+	if got := c.AggregateCache(c.L1D, 0); got != c.L1D.Size {
+		t.Fatalf("0 threads aggregate = %d", got)
+	}
+	// More threads than the machine has clamps at full capacity.
+	if got := c.AggregateCache(c.L1D, 1000); got != c.L1D.Size*28 {
+		t.Fatalf("oversubscribed aggregate = %d", got)
+	}
+	if got := c.AggregateCache(c.L3, 1); got != c.L3.Size {
+		t.Fatalf("single-thread L3 = %d", got)
+	}
+}
+
+func TestMaxResidentWarps(t *testing.T) {
+	g := PaperGPU()
+	want := 13 * 2048 / 32
+	if got := g.MaxResidentWarps(); got != want {
+		t.Fatalf("resident warps = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,292 @@
+package linalg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/numa"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// CPUBackend executes operations on the host with goroutine parallelism and
+// prices them against the paper's NUMA machine via the internal/numa model.
+// Threads is the modeled hardware-thread count: 1 reproduces the paper's
+// "cpu-seq" configuration, 56 the "cpu-par" one.
+type CPUBackend struct {
+	threads int
+	cost    *numa.Model
+	meter   *Meter
+
+	// WorkScale multiplies the data-dependent work (bytes, flops, and the
+	// cache-fit working set) of every operation before pricing. The
+	// harness sets it to fullN/scaledN so epochs measured on a scaled
+	// dataset are priced at the paper's full dataset size.
+	WorkScale float64
+
+	partials sync.Pool // per-worker reduction buffers for SpMVT
+}
+
+// NewCPU returns a CPU backend modeling the given hardware-thread count on
+// the paper's dual-socket Xeon.
+func NewCPU(threads int) *CPUBackend {
+	if threads < 1 {
+		threads = 1
+	}
+	return &CPUBackend{
+		threads:   threads,
+		cost:      numa.PaperMachine(),
+		meter:     NewMeter(),
+		WorkScale: 1,
+	}
+}
+
+// NewCPUWithModel returns a CPU backend priced against a custom NUMA model
+// (used by tests and ablations).
+func NewCPUWithModel(threads int, m *numa.Model) *CPUBackend {
+	b := NewCPU(threads)
+	b.cost = m
+	return b
+}
+
+// Name implements Backend.
+func (b *CPUBackend) Name() string {
+	if b.threads == 1 {
+		return "cpu-seq"
+	}
+	return fmt.Sprintf("cpu-par(%d)", b.threads)
+}
+
+// Threads returns the modeled hardware-thread count.
+func (b *CPUBackend) Threads() int { return b.threads }
+
+// Meter implements Backend.
+func (b *CPUBackend) Meter() *Meter { return b.meter }
+
+// charge prices one operation at the paper machine's scale, applying the
+// WorkScale so cache-fit decisions and traffic reflect the full-size
+// dataset.
+func (b *CPUBackend) charge(op string, workingSet, bytes int64, flops float64, threads int) {
+	s := b.WorkScale
+	if s <= 0 {
+		s = 1
+	}
+	b.meter.Charge(op, b.cost.StreamTime(
+		int64(float64(workingSet)*s), int64(float64(bytes)*s), flops*s, threads))
+}
+
+// Gemv implements model.Ops.
+func (b *CPUBackend) Gemv(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	parallelFor(b.threads, a.Rows, func(lo, hi int) {
+		sub := &tensor.Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
+		tensor.Gemv(alpha, sub, x, beta, y[lo:hi])
+	})
+	n := int64(a.Rows) * int64(a.Cols)
+	b.charge("gemv", n*8, n*8+int64(len(x)+len(y))*8, 2*float64(n), b.threads)
+}
+
+// GemvT implements model.Ops.
+func (b *CPUBackend) GemvT(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	// Column-partitioned to keep writes disjoint across workers.
+	parallelFor(b.threads, a.Cols, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float64
+			for i := 0; i < a.Rows; i++ {
+				s += a.At(i, j) * x[i]
+			}
+			y[j] = alpha*s + beta*y[j]
+		}
+	})
+	n := int64(a.Rows) * int64(a.Cols)
+	b.charge("gemvT", n*8, n*8+int64(len(x)+len(y))*8, 2*float64(n), b.threads)
+}
+
+// gemmThreads applies ViennaCL's scheduling rule: products with small result
+// matrices run on one thread (paper Section IV-B).
+func (b *CPUBackend) gemmThreads(resultElems int) int {
+	if resultElems < ParallelGemmThreshold {
+		return 1
+	}
+	return b.threads
+}
+
+// chargeGemm prices a product with flops = 2*m*k*n and operand traffic.
+func (b *CPUBackend) chargeGemm(op string, m, k, n, threads int) {
+	bytes := int64(m*k+k*n+m*n) * 8
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.charge(op, bytes, bytes, flops, threads)
+}
+
+// Gemm implements model.Ops.
+func (b *CPUBackend) Gemm(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	threads := b.gemmThreads(c.Rows * c.Cols)
+	parallelFor(threads, c.Rows, func(lo, hi int) {
+		tensor.GemmRows(alpha, a, bm, beta, c, lo, hi)
+	})
+	b.chargeGemm("gemm", a.Rows, a.Cols, bm.Cols, threads)
+}
+
+// GemmNT implements model.Ops.
+func (b *CPUBackend) GemmNT(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	threads := b.gemmThreads(c.Rows * c.Cols)
+	parallelFor(threads, c.Rows, func(lo, hi int) {
+		tensor.GemmNTRows(alpha, a, bm, beta, c, lo, hi)
+	})
+	b.chargeGemm("gemmNT", a.Rows, a.Cols, bm.Rows, threads)
+}
+
+// GemmTN implements model.Ops.
+func (b *CPUBackend) GemmTN(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	threads := b.gemmThreads(c.Rows * c.Cols)
+	parallelFor(threads, c.Rows, func(lo, hi int) {
+		tensor.GemmTNRows(alpha, a, bm, beta, c, lo, hi)
+	})
+	b.chargeGemm("gemmTN", a.Cols, a.Rows, bm.Cols, threads)
+}
+
+// spmvCost prices a sparse matrix-vector product: the CSR arrays stream
+// (12 bytes per stored entry), while the dense-vector gather touches one
+// element per entry — at full 64-byte cache-line granularity when the
+// gathered vector does not fit the executing threads' aggregate L2 (each
+// random access then misses and pulls a whole line; the irregular-access
+// penalty of sparse CPU kernels, paper Section IV-B).
+func (b *CPUBackend) spmvCost(op string, a *sparse.CSR, scatter bool) {
+	nnz := int64(a.NNZ())
+	stream := nnz*12 + int64(a.NumRows)*8
+	perAccess := int64(8)
+	if b.cost.FitLevel(int64(a.NumCols)*8, b.threads) > numa.InL2 {
+		perAccess = 64
+	}
+	gather := nnz * perAccess
+	if scatter {
+		gather *= 2 // read + write of the output vector entries
+	}
+	ws := stream + int64(a.NumCols)*8
+	b.charge(op, ws, stream+gather, 2*float64(nnz), b.threads)
+}
+
+// SpMV implements model.Ops.
+func (b *CPUBackend) SpMV(a *sparse.CSR, x, y []float64) {
+	parallelFor(b.threads, a.NumRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = a.RowDot(i, x)
+		}
+	})
+	b.spmvCost("spmv", a, false)
+}
+
+// SpMVT implements model.Ops: workers accumulate into private partial
+// outputs which are then reduced in worker order, keeping the result
+// deterministic while rows are processed concurrently.
+func (b *CPUBackend) SpMVT(a *sparse.CSR, x, y []float64) {
+	for j := range y {
+		y[j] = 0
+	}
+	workers := b.threads
+	if workers > a.NumRows {
+		workers = a.NumRows
+	}
+	if workers <= 1 {
+		a.MulVecT(x, y)
+	} else {
+		parts := make([][]float64, workers)
+		chunk := (a.NumRows + workers - 1) / workers
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			lo := wkr * chunk
+			if lo >= a.NumRows {
+				parts[wkr] = nil
+				continue
+			}
+			hi := lo + chunk
+			if hi > a.NumRows {
+				hi = a.NumRows
+			}
+			buf := b.getPartial(len(y))
+			parts[wkr] = buf
+			wg.Add(1)
+			go func(lo, hi int, out []float64) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if x[i] != 0 {
+						a.RowAxpy(i, x[i], out)
+					}
+				}
+			}(lo, hi, buf)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			tensor.Axpy(1, p, y)
+			b.putPartial(p)
+		}
+	}
+	b.spmvCost("spmvT", a, true)
+}
+
+func (b *CPUBackend) getPartial(n int) []float64 {
+	if v := b.partials.Get(); v != nil {
+		buf := v.([]float64)
+		if cap(buf) >= n {
+			buf = buf[:n]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+func (b *CPUBackend) putPartial(p []float64) { b.partials.Put(p) } //nolint:staticcheck
+
+// Axpy implements model.Ops.
+func (b *CPUBackend) Axpy(alpha float64, x, y []float64) {
+	parallelFor(b.threads, len(y), func(lo, hi int) {
+		tensor.Axpy(alpha, x[lo:hi], y[lo:hi])
+	})
+	n := int64(len(y))
+	b.charge("axpy", n*16, n*24, 2*float64(n), b.threads)
+}
+
+// Scal implements model.Ops.
+func (b *CPUBackend) Scal(alpha float64, x []float64) {
+	parallelFor(b.threads, len(x), func(lo, hi int) {
+		tensor.Scal(alpha, x[lo:hi])
+	})
+	n := int64(len(x))
+	b.charge("scal", n*8, n*16, float64(n), b.threads)
+}
+
+// Map implements model.Ops.
+func (b *CPUBackend) Map(dst, src, aux []float64, f func(s, a float64) float64) {
+	parallelFor(b.threads, len(dst), func(lo, hi int) {
+		if aux == nil {
+			for i := lo; i < hi; i++ {
+				dst[i] = f(src[i], 0)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				dst[i] = f(src[i], aux[i])
+			}
+		}
+	})
+	n := int64(len(dst))
+	// Element-wise kernels with transcendentals: ~8 flops/element.
+	b.charge("map", n*24, n*24, 8*float64(n), b.threads)
+}
+
+// RowsMap implements model.Ops.
+func (b *CPUBackend) RowsMap(m *tensor.Matrix, f func(i int, row []float64)) {
+	parallelFor(b.threads, m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i, m.Row(i))
+		}
+	})
+	n := int64(m.Rows) * int64(m.Cols)
+	b.charge("rowsmap", n*8, n*16, 8*float64(n), b.threads)
+}
+
+var _ Backend = (*CPUBackend)(nil)

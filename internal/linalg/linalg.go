@@ -1,0 +1,101 @@
+// Package linalg is the study's stand-in for the ViennaCL linear-algebra
+// library: one device-independent API (the model.Ops contract) with two
+// backends — a multi-thread CPU backend and a simulated-GPU backend — so the
+// synchronous SGD code is written once and runs on either device, exactly
+// the property the paper exploits (Section III-A).
+//
+// Every operation executes functionally (bitwise identical results across
+// backends) and accrues *modeled* device time to the backend's Meter: the
+// CPU backend prices operations with the internal/numa cost model at the
+// paper's 56-thread Xeon scale, the GPU backend with the internal/gpusim
+// K80 cost model. Hardware efficiency in the reproduced tables is read off
+// these meters.
+//
+// The CPU backend reproduces ViennaCL's observed scheduling quirk: a matrix
+// product is parallelised only when its result exceeds ParallelGemmThreshold
+// elements — the root cause of the paper's "sync MLP speeds up only ~2x on
+// 56 threads" finding (Section IV-B, Fig. 6).
+package linalg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Meter accumulates modeled device time per operation kind.
+type Meter struct {
+	mu      sync.Mutex
+	seconds float64
+	byOp    map[string]opTotals
+}
+
+type opTotals struct {
+	Seconds float64
+	Calls   int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{byOp: make(map[string]opTotals)} }
+
+// Charge adds modeled seconds under the given operation name.
+func (m *Meter) Charge(op string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seconds += seconds
+	t := m.byOp[op]
+	t.Seconds += seconds
+	t.Calls++
+	m.byOp[op] = t
+}
+
+// Seconds returns the total modeled time accrued.
+func (m *Meter) Seconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seconds
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seconds = 0
+	clear(m.byOp)
+}
+
+// Report renders per-operation totals, most expensive first.
+func (m *Meter) Report() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type row struct {
+		op string
+		t  opTotals
+	}
+	rows := make([]row, 0, len(m.byOp))
+	for op, t := range m.byOp {
+		rows = append(rows, row{op, t})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t.Seconds > rows[j].t.Seconds })
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%-12s %10d calls %12.6fs\n", r.op, r.t.Calls, r.t.Seconds)
+	}
+	return out
+}
+
+// Backend is a metered linear-algebra device.
+type Backend interface {
+	model.Ops
+	// Name identifies the backend configuration (e.g. "cpu-par", "gpu").
+	Name() string
+	// Meter returns the modeled-time accumulator.
+	Meter() *Meter
+}
+
+// ParallelGemmThreshold is ViennaCL's observed result-size threshold below
+// which a matrix product is executed sequentially (paper Section IV-B: "a
+// minimum size that is larger than 5000").
+const ParallelGemmThreshold = 5000

@@ -1,0 +1,312 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randCSR(rng *rand.Rand, r, c int, density float64) *sparse.CSR {
+	b := sparse.NewBuilder(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// backends under test: the functional results must agree across all of them.
+func testBackends() []Backend {
+	return []Backend{NewCPU(1), NewCPU(56), NewK80()}
+}
+
+func TestBackendsAgreeOnEveryOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 17, 9)
+	bm := randMat(rng, 9, 11)
+	nt := randMat(rng, 13, 9) // for A * NT^T
+	sp := randCSR(rng, 17, 9, 0.4)
+	x9 := randVec(rng, 9)
+	x17 := randVec(rng, 17)
+
+	type result struct {
+		gemv, gemvT, spmv, spmvT, axpy, mapd []float64
+		gemm, gemmNT, gemmTN                 *tensor.Matrix
+	}
+	run := func(b Backend) result {
+		var r result
+		r.gemv = make([]float64, 17)
+		b.Gemv(1.5, a, x9, 0, r.gemv)
+		r.gemvT = make([]float64, 9)
+		b.GemvT(0.5, a, x17, 0, r.gemvT)
+		r.gemm = tensor.NewMatrix(17, 11)
+		b.Gemm(1, a, bm, 0, r.gemm)
+		r.gemmNT = tensor.NewMatrix(17, 13)
+		b.GemmNT(1, a, nt, 0, r.gemmNT)
+		r.gemmTN = tensor.NewMatrix(11, 11)
+		b.GemmTN(1, bm, bm, 0, r.gemmTN) // bm^T * bm
+		r.spmv = make([]float64, 17)
+		b.SpMV(sp, x9, r.spmv)
+		r.spmvT = make([]float64, 9)
+		b.SpMVT(sp, x17, r.spmvT)
+		r.axpy = append([]float64(nil), x9...)
+		b.Axpy(2, x9, r.axpy)
+		r.mapd = make([]float64, 9)
+		b.Map(r.mapd, x9, nil, func(s, _ float64) float64 { return s * s })
+		return r
+	}
+	base := run(testBackends()[0])
+	for _, b := range testBackends()[1:] {
+		got := run(b)
+		pairs := []struct {
+			name string
+			a, b []float64
+		}{
+			{"gemv", base.gemv, got.gemv},
+			{"gemvT", base.gemvT, got.gemvT},
+			{"gemm", base.gemm.Data, got.gemm.Data},
+			{"gemmNT", base.gemmNT.Data, got.gemmNT.Data},
+			{"gemmTN", base.gemmTN.Data, got.gemmTN.Data},
+			{"spmv", base.spmv, got.spmv},
+			{"spmvT", base.spmvT, got.spmvT},
+			{"axpy", base.axpy, got.axpy},
+			{"map", base.mapd, got.mapd},
+		}
+		for _, p := range pairs {
+			for i := range p.a {
+				if math.Abs(p.a[i]-p.b[i]) > 1e-9*math.Max(1, math.Abs(p.a[i])) {
+					t.Fatalf("%s: %s[%d] = %v vs %v", b.Name(), p.name, i, p.b[i], p.a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGemmReferencesMatch(t *testing.T) {
+	// GemmNT(A, B) == Gemm(A, B^T) and GemmTN(A, B) == Gemm(A^T, B).
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 7, 5)
+	b := randMat(rng, 6, 5)
+	cpu := NewCPU(1)
+
+	nt := tensor.NewMatrix(7, 6)
+	cpu.GemmNT(1, a, b, 0, nt)
+	bT := tensor.NewMatrix(5, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			bT.Set(j, i, b.At(i, j))
+		}
+	}
+	want := tensor.NewMatrix(7, 6)
+	cpu.Gemm(1, a, bT, 0, want)
+	for i := range want.Data {
+		if math.Abs(nt.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("GemmNT mismatch at %d", i)
+		}
+	}
+
+	c := randMat(rng, 5, 4)
+	tn := tensor.NewMatrix(7, 4)
+	aT := tensor.NewMatrix(5, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			aT.Set(j, i, a.At(i, j))
+		}
+	}
+	cpu.GemmTN(1, aT, c, 0, tn)
+	want2 := tensor.NewMatrix(7, 4)
+	cpu.Gemm(1, a, c, 0, want2)
+	for i := range want2.Data {
+		if math.Abs(tn.Data[i]-want2.Data[i]) > 1e-12 {
+			t.Fatalf("GemmTN mismatch at %d", i)
+		}
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.Charge("op", 1.5)
+	m.Charge("op", 0.5)
+	m.Charge("other", 1)
+	if got := m.Seconds(); got != 3 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	rep := m.Report()
+	if !strings.Contains(rep, "op") || !strings.Contains(rep, "other") {
+		t.Fatalf("report %q", rep)
+	}
+	m.Reset()
+	if m.Seconds() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCPUBackendChargesTime(t *testing.T) {
+	b := NewCPU(56)
+	rng := rand.New(rand.NewSource(3))
+	sp := randCSR(rng, 50, 20, 0.3)
+	x := randVec(rng, 20)
+	y := make([]float64, 50)
+	b.SpMV(sp, x, y)
+	if b.Meter().Seconds() <= 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestWorkScaleScalesCPUTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sp := randCSR(rng, 200, 5000, 0.02)
+	x := randVec(rng, 5000)
+	y := make([]float64, 200)
+	base := NewCPU(56)
+	base.SpMV(sp, x, y)
+	scaledB := NewCPU(56)
+	scaledB.WorkScale = 100
+	scaledB.SpMV(sp, x, y)
+	ratio := scaledB.Meter().Seconds() / base.Meter().Seconds()
+	if ratio < 10 {
+		t.Fatalf("WorkScale=100 only scaled time by %.1f", ratio)
+	}
+}
+
+func TestWorkScaleScalesGPUTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sp := randCSR(rng, 500, 2000, 0.05)
+	x := randVec(rng, 2000)
+	y := make([]float64, 500)
+	base := NewK80()
+	base.SpMV(sp, x, y)
+	scaled := NewK80()
+	scaled.WorkScale = 1000
+	scaled.SpMV(sp, x, y)
+	if scaled.Meter().Seconds() <= base.Meter().Seconds() {
+		t.Fatal("GPU WorkScale had no effect")
+	}
+}
+
+func TestGemmThresholdSequentialBelow(t *testing.T) {
+	// A product with a small result must be priced at one thread; a large
+	// one at 56. The modeled time ratio reveals the decision.
+	small := NewCPU(56)
+	a := tensor.NewMatrix(64, 64)
+	b := tensor.NewMatrix(64, 64)
+	c := tensor.NewMatrix(64, 64) // 4096 < 5000: sequential
+	small.Gemm(1, a, b, 0, c)
+	tSmall := small.Meter().Seconds()
+
+	big := NewCPU(56)
+	a2 := tensor.NewMatrix(128, 64)
+	c2 := tensor.NewMatrix(128, 64) // 8192 >= 5000: parallel
+	b2 := tensor.NewMatrix(64, 64)
+	big.Gemm(1, a2, b2, 0, c2)
+	tBig := big.Meter().Seconds()
+
+	// The big product has 2x the flops but >10x the threads: it must be
+	// cheaper per flop. Compare normalised times.
+	if tBig/2 >= tSmall {
+		t.Fatalf("5000-threshold not applied: small %v, big/2 %v", tSmall, tBig/2)
+	}
+}
+
+func TestCPUNameAndThreads(t *testing.T) {
+	if got := NewCPU(1).Name(); got != "cpu-seq" {
+		t.Fatalf("Name = %s", got)
+	}
+	if got := NewCPU(56).Name(); got != "cpu-par(56)" {
+		t.Fatalf("Name = %s", got)
+	}
+	if got := NewCPU(0).Threads(); got != 1 {
+		t.Fatalf("Threads floor = %d", got)
+	}
+	if got := NewK80().Name(); got != "gpu" {
+		t.Fatalf("gpu Name = %s", got)
+	}
+}
+
+func TestSpMVTCacheReuses(t *testing.T) {
+	// The GPU SpMV cost is structure-dependent and cached per matrix:
+	// two calls must charge the same amount each.
+	rng := rand.New(rand.NewSource(6))
+	sp := randCSR(rng, 100, 50, 0.2)
+	x := randVec(rng, 50)
+	y := make([]float64, 100)
+	b := NewK80()
+	b.SpMV(sp, x, y)
+	first := b.Meter().Seconds()
+	b.SpMV(sp, x, y)
+	second := b.Meter().Seconds() - first
+	if math.Abs(first-second) > 1e-15 {
+		t.Fatalf("cached cost differs: %v vs %v", first, second)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	seen := make([]int32, 1000)
+	parallelFor(8, 1000, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	// Degenerate cases must not panic.
+	parallelFor(4, 0, func(lo, hi int) { t.Fatal("called for n=0") })
+	parallelFor(0, 3, func(lo, hi int) {})
+}
+
+func TestRowsMapAppliesPerRow(t *testing.T) {
+	for _, b := range testBackends() {
+		m := tensor.NewMatrix(10, 4)
+		b.RowsMap(m, func(i int, row []float64) {
+			for j := range row {
+				row[j] = float64(i)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			if m.At(i, 0) != float64(i) {
+				t.Fatalf("%s: RowsMap row %d = %v", b.Name(), i, m.At(i, 0))
+			}
+		}
+	}
+}
+
+func TestScalAndMapWithAux(t *testing.T) {
+	for _, b := range testBackends() {
+		x := []float64{1, 2, 3}
+		b.Scal(2, x)
+		if x[2] != 6 {
+			t.Fatalf("%s: Scal = %v", b.Name(), x)
+		}
+		dst := make([]float64, 3)
+		b.Map(dst, x, []float64{1, 1, 1}, func(s, a float64) float64 { return s + a })
+		if dst[0] != 3 || dst[2] != 7 {
+			t.Fatalf("%s: Map aux = %v", b.Name(), dst)
+		}
+	}
+}

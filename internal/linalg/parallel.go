@@ -1,0 +1,44 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor splits [0, n) into contiguous ranges and runs fn on up to
+// `workers` goroutines. With workers <= 1 (or a trivial n) it runs inline.
+// Ranges are disjoint, so fn may write to per-index state without
+// synchronisation; the call returns only when all ranges are done.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if workers > maxProcs {
+		// More goroutines than cores adds no real concurrency on the
+		// host running the study code; modeled time is priced
+		// separately against the paper machine's thread count.
+		workers = maxProcs
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

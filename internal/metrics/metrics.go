@@ -1,0 +1,120 @@
+// Package metrics provides the measurement statistics of the study's
+// methodology: repeated runs summarised by mean and standard deviation
+// (the paper performs every experiment at least 10 times and reports the
+// average), convergence-curve downsampling for plotting, and simple
+// aggregation helpers shared by the harness.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Summary describes repeated scalar measurements.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	InfCount int // measurements that were +Inf (non-convergence runs)
+}
+
+// Summarize computes the summary of xs, excluding non-finite values from the
+// moments but counting +Inf occurrences (the ∞ rows of Table III).
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sum2 float64
+	for _, x := range xs {
+		if math.IsInf(x, 1) {
+			s.InfCount++
+			continue
+		}
+		if math.IsNaN(x) {
+			continue
+		}
+		s.N++
+		sum += x
+		sum2 += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N > 0 {
+		s.Mean = sum / float64(s.N)
+		if s.N > 1 {
+			v := (sum2 - sum*sum/float64(s.N)) / float64(s.N-1)
+			if v > 0 {
+				s.Std = math.Sqrt(v)
+			}
+		}
+	} else {
+		s.Min, s.Max = math.NaN(), math.NaN()
+		if s.InfCount > 0 {
+			s.Mean = math.Inf(1)
+		}
+	}
+	return s
+}
+
+// Repeat runs fn n times and summarises its results.
+func Repeat(n int, fn func(rep int) float64) Summary {
+	if n < 1 {
+		n = 1
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = fn(i)
+	}
+	return Summarize(xs)
+}
+
+// MeanEpochs summarises integer epoch counts where -1 encodes
+// non-convergence; the mean is over converged runs, InfCount counts the
+// rest.
+func MeanEpochs(epochs []int) Summary {
+	xs := make([]float64, len(epochs))
+	for i, e := range epochs {
+		if e < 0 {
+			xs[i] = math.Inf(1)
+		} else {
+			xs[i] = float64(e)
+		}
+	}
+	return Summarize(xs)
+}
+
+// Downsample reduces a loss curve to at most k points, always keeping the
+// first and last (for Fig. 7-style plotting without megabyte CSVs).
+func Downsample(curve []core.LossPoint, k int) []core.LossPoint {
+	if k <= 0 || len(curve) <= k {
+		return curve
+	}
+	out := make([]core.LossPoint, 0, k)
+	step := float64(len(curve)-1) / float64(k-1)
+	prev := -1
+	for i := 0; i < k; i++ {
+		idx := int(math.Round(float64(i) * step))
+		if idx == prev {
+			continue
+		}
+		prev = idx
+		out = append(out, curve[idx])
+	}
+	return out
+}
+
+// AUCTime integrates loss over modeled time (trapezoid), a scalar that
+// compares whole convergence trajectories: lower means the engine spends
+// less time at high loss.
+func AUCTime(curve []core.LossPoint) float64 {
+	var auc float64
+	for i := 1; i < len(curve); i++ {
+		dt := curve[i].Seconds - curve[i-1].Seconds
+		auc += dt * (curve[i].Loss + curve[i-1].Loss) / 2
+	}
+	return auc
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944487) > 1e-9 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeHandlesInf(t *testing.T) {
+	s := Summarize([]float64{1, math.Inf(1), 3})
+	if s.N != 2 || s.InfCount != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Mean != 2 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	all := Summarize([]float64{math.Inf(1), math.Inf(1)})
+	if all.N != 0 || all.InfCount != 2 || !math.IsInf(all.Mean, 1) {
+		t.Fatalf("%+v", all)
+	}
+}
+
+func TestSummarizeIgnoresNaN(t *testing.T) {
+	s := Summarize([]float64{2, math.NaN(), 4})
+	if s.N != 2 || s.Mean != 3 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	calls := 0
+	s := Repeat(5, func(rep int) float64 {
+		calls++
+		return float64(rep)
+	})
+	if calls != 5 || s.Mean != 2 {
+		t.Fatalf("calls %d summary %+v", calls, s)
+	}
+	if got := Repeat(0, func(int) float64 { return 7 }); got.N != 1 {
+		t.Fatalf("n<1 floor: %+v", got)
+	}
+}
+
+func TestMeanEpochs(t *testing.T) {
+	s := MeanEpochs([]int{10, -1, 20})
+	if s.N != 2 || s.Mean != 15 || s.InfCount != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestDownsampleKeepsEndpoints(t *testing.T) {
+	curve := make([]core.LossPoint, 100)
+	for i := range curve {
+		curve[i] = core.LossPoint{Epoch: i, Seconds: float64(i), Loss: float64(100 - i)}
+	}
+	out := Downsample(curve, 10)
+	if len(out) > 10 {
+		t.Fatalf("len %d", len(out))
+	}
+	if out[0].Epoch != 0 || out[len(out)-1].Epoch != 99 {
+		t.Fatalf("endpoints %d..%d", out[0].Epoch, out[len(out)-1].Epoch)
+	}
+	// Short curves pass through untouched.
+	if got := Downsample(curve[:5], 10); len(got) != 5 {
+		t.Fatal("short curve modified")
+	}
+}
+
+func TestDownsampleMonotoneProperty(t *testing.T) {
+	f := func(nRaw uint8, kRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		k := int(kRaw)%50 + 2
+		curve := make([]core.LossPoint, n)
+		for i := range curve {
+			curve[i] = core.LossPoint{Epoch: i, Seconds: float64(i)}
+		}
+		out := Downsample(curve, k)
+		if len(out) > k {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Epoch <= out[i-1].Epoch {
+				return false
+			}
+		}
+		return out[0].Epoch == 0 && out[len(out)-1].Epoch == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCTime(t *testing.T) {
+	curve := []core.LossPoint{
+		{Seconds: 0, Loss: 2},
+		{Seconds: 1, Loss: 1},
+		{Seconds: 3, Loss: 1},
+	}
+	// trapezoids: (2+1)/2*1 + (1+1)/2*2 = 1.5 + 2 = 3.5
+	if got := AUCTime(curve); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("AUC = %v", got)
+	}
+	if AUCTime(nil) != 0 {
+		t.Fatal("empty AUC")
+	}
+}

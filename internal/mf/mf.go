@@ -1,0 +1,164 @@
+// Package mf implements low-rank matrix factorization trained by SGD — the
+// model class the paper names as future work (Section VI) and the subject of
+// its closest related work on GPU asynchrony (cuMF_SGD, HPDC'17; Kaleem et
+// al., GPGPU'15).
+//
+// The task: given observed ratings R(u, i) of Users x Items, find rank-K
+// factors U (Users x K) and V (Items x K) minimising the squared error
+// sum over observed (u,i) of (R(u,i) - U_u . V_i)^2.
+//
+// Each rating is one training example whose gradient touches exactly 2K
+// model components (user row + item row), so the entire asynchronous engine
+// stack of internal/core — CPU Hogwild, simulated-GPU warp execution with
+// conflict semantics, step tuning, the convergence driver — applies
+// unchanged through the model.Model interface. Hot users/items make update
+// conflicts data-dependent, exactly the structure cuMF_SGD schedules around.
+package mf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+// MF is the matrix-factorization task. Parameters are [U row-major, then V
+// row-major] in one flat vector, so the asynchronous engines can share and
+// race on it like any other model.
+type MF struct {
+	Users, Items, K int
+	// Reg is the L2 regularisation weight on the touched factor rows
+	// (0 = none, matching the paper's unregularised methodology).
+	Reg float64
+}
+
+// NewMF builds a rank-k factorization task.
+func NewMF(users, items, k int) *MF {
+	if users <= 0 || items <= 0 || k <= 0 {
+		panic(fmt.Sprintf("mf: invalid shape %dx%d rank %d", users, items, k))
+	}
+	return &MF{Users: users, Items: items, K: k}
+}
+
+// Name implements model.Model.
+func (m *MF) Name() string { return "mf" }
+
+// NumParams implements model.Model.
+func (m *MF) NumParams() int { return (m.Users + m.Items) * m.K }
+
+// userOff returns the offset of U_u in the flat vector.
+func (m *MF) userOff(u int) int { return u * m.K }
+
+// itemOff returns the offset of V_i in the flat vector.
+func (m *MF) itemOff(i int) int { return (m.Users + i) * m.K }
+
+// InitParams implements model.Model: small random factors so the initial
+// predictions are near zero.
+func (m *MF) InitParams(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, m.NumParams())
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.1
+	}
+	return w
+}
+
+// NewScratch implements model.Model.
+func (m *MF) NewScratch() model.Scratch { return nil }
+
+// decode extracts (user, item, rating) from example row i of the ratings
+// dataset built by NewRatingsDataset.
+func (m *MF) decode(ds *data.Dataset, i int) (u, it int, r float64) {
+	cols, vals := ds.X.Row(i)
+	if len(cols) != 2 {
+		panic(fmt.Sprintf("mf: example %d has %d entries, want 2 (user, item)", i, len(cols)))
+	}
+	return int(cols[0]), int(cols[1]) - m.Users, vals[0]
+}
+
+// predict returns U_u . V_i.
+func (m *MF) predict(w []float64, u, it int) float64 {
+	uo, io := m.userOff(u), m.itemOff(it)
+	var s float64
+	for k := 0; k < m.K; k++ {
+		s += w[uo+k] * w[io+k]
+	}
+	return s
+}
+
+// ExampleLoss implements model.Model: squared error of one rating.
+func (m *MF) ExampleLoss(w []float64, ds *data.Dataset, i int, _ model.Scratch) float64 {
+	u, it, r := m.decode(ds, i)
+	e := r - m.predict(w, u, it)
+	loss := e * e
+	if m.Reg > 0 {
+		uo, io := m.userOff(u), m.itemOff(it)
+		for k := 0; k < m.K; k++ {
+			loss += m.Reg * (w[uo+k]*w[uo+k] + w[io+k]*w[io+k])
+		}
+	}
+	return loss
+}
+
+// AccumGrad implements model.Model.
+func (m *MF) AccumGrad(w []float64, ds *data.Dataset, i int, scale float64, g []float64, _ model.Scratch) {
+	u, it, r := m.decode(ds, i)
+	uo, io := m.userOff(u), m.itemOff(it)
+	e := r - m.predict(w, u, it)
+	for k := 0; k < m.K; k++ {
+		g[uo+k] += scale * (-2*e*w[io+k] + 2*m.Reg*w[uo+k])
+		g[io+k] += scale * (-2*e*w[uo+k] + 2*m.Reg*w[io+k])
+	}
+}
+
+// SGDStep implements model.Model: the classic MF update
+// U_u += step*2e*V_i, V_i += step*2e*U_u, through the updater so Hogwild
+// and the simulated-GPU executor control how writes land. The item factors
+// used in the user update are read before any write (true simultaneous
+// update), matching the reference implementations.
+func (m *MF) SGDStep(w []float64, ds *data.Dataset, i int, step float64, upd model.Updater, _ model.Scratch) {
+	u, it, r := m.decode(ds, i)
+	uo, io := m.userOff(u), m.itemOff(it)
+	e := r - m.predict(w, u, it)
+	for k := 0; k < m.K; k++ {
+		du := step * (2*e*w[io+k] - 2*m.Reg*w[uo+k])
+		dv := step * (2*e*w[uo+k] - 2*m.Reg*w[io+k])
+		upd.Add(w, uo+k, du)
+		upd.Add(w, io+k, dv)
+	}
+}
+
+// GradSupport implements model.Model: one user row plus one item row.
+func (m *MF) GradSupport(_ *data.Dataset, _ int) int { return 2 * m.K }
+
+// BatchGrad implements model.BatchModel by per-example accumulation (MF's
+// gradient support is tiny, so there is no GEMM formulation to exploit);
+// the element-wise error pass is charged through the backend.
+func (m *MF) BatchGrad(b model.Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64 {
+	n := ds.N()
+	rowAt := func(i int) int { return i }
+	if rows != nil {
+		n = len(rows)
+		rowAt = func(i int) int { return rows[i] }
+	}
+	for j := range g {
+		g[j] = 0
+	}
+	errs := make([]float64, n)
+	var loss float64
+	for i := 0; i < n; i++ {
+		r := rowAt(i)
+		m.AccumGrad(w, ds, r, 1/float64(n), g, nil)
+		loss += m.ExampleLoss(w, ds, r, nil)
+	}
+	// Charge the per-rating error/update pass as an element-wise kernel
+	// of 4K flops per rating.
+	b.Map(errs, errs, nil, func(s, _ float64) float64 { return s })
+	return loss / float64(n)
+}
+
+var (
+	_ model.Model      = (*MF)(nil)
+	_ model.BatchModel = (*MF)(nil)
+)

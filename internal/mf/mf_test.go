@@ -1,0 +1,186 @@
+package mf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// nopOps satisfies model.Ops for tests that only need the functional result.
+type nopOps struct{}
+
+func (nopOps) Gemv(float64, *tensor.Matrix, []float64, float64, []float64)             {}
+func (nopOps) GemvT(float64, *tensor.Matrix, []float64, float64, []float64)            {}
+func (nopOps) Gemm(float64, *tensor.Matrix, *tensor.Matrix, float64, *tensor.Matrix)   {}
+func (nopOps) GemmNT(float64, *tensor.Matrix, *tensor.Matrix, float64, *tensor.Matrix) {}
+func (nopOps) GemmTN(float64, *tensor.Matrix, *tensor.Matrix, float64, *tensor.Matrix) {}
+func (nopOps) SpMV(*sparse.CSR, []float64, []float64)                                  {}
+func (nopOps) SpMVT(*sparse.CSR, []float64, []float64)                                 {}
+func (nopOps) Axpy(float64, []float64, []float64)                                      {}
+func (nopOps) Scal(float64, []float64)                                                 {}
+func (nopOps) Map([]float64, []float64, []float64, func(s, a float64) float64)         {}
+func (nopOps) RowsMap(*tensor.Matrix, func(i int, row []float64))                      {}
+
+var _ model.Ops = nopOps{}
+
+func TestMFGradientMatchesFiniteDiff(t *testing.T) {
+	spec := NetflixLike(12, 9, 60)
+	ds := NewRatingsDataset(spec)
+	m := NewMF(12, 9, 4)
+	m.Reg = 0.01
+	rng := rand.New(rand.NewSource(1))
+	w := m.InitParams(2)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.3
+	}
+	const h = 1e-6
+	for trial := 0; trial < 6; trial++ {
+		i := rng.Intn(ds.N())
+		g := make([]float64, len(w))
+		m.AccumGrad(w, ds, i, 1, g, nil)
+		for j := range w {
+			orig := w[j]
+			w[j] = orig + h
+			fp := m.ExampleLoss(w, ds, i, nil)
+			w[j] = orig - h
+			fm := m.ExampleLoss(w, ds, i, nil)
+			w[j] = orig
+			want := (fp - fm) / (2 * h)
+			if math.Abs(g[j]-want) > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Fatalf("grad[%d] = %v, finite diff %v", j, g[j], want)
+			}
+		}
+	}
+}
+
+func TestMFSGDStepMatchesGradient(t *testing.T) {
+	spec := NetflixLike(10, 8, 40)
+	ds := NewRatingsDataset(spec)
+	m := NewMF(10, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	w := m.InitParams(3)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.2
+	}
+	i := rng.Intn(ds.N())
+	step := 0.05
+	g := make([]float64, len(w))
+	m.AccumGrad(w, ds, i, 1, g, nil)
+	want := append([]float64(nil), w...)
+	for j := range want {
+		want[j] -= step * g[j]
+	}
+	got := append([]float64(nil), w...)
+	m.SGDStep(got, ds, i, step, model.RawUpdater{}, nil)
+	for j := range got {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("SGDStep[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestMFHogwildConverges(t *testing.T) {
+	spec := NetflixLike(60, 40, 1500)
+	ds := NewRatingsDataset(spec)
+	m := NewMF(60, 40, 8)
+	e := core.NewHogwild(m, ds, 0.05, 8)
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	for ep := 0; ep < 60; ep++ {
+		e.RunEpoch(w)
+	}
+	after := model.MeanLoss(m, w, ds)
+	if !(after < before/3) {
+		t.Fatalf("MF Hogwild: loss %v -> %v, expected a strong drop", before, after)
+	}
+}
+
+func TestMFGPUHogwildRunsWithConflicts(t *testing.T) {
+	// Hot (Zipf) items force warp-level conflicts on the item factors —
+	// the structure cuMF_SGD's scheduling avoids. The simulator must
+	// surface them while still making progress.
+	spec := NetflixLike(50, 30, 1200)
+	ds := NewRatingsDataset(spec)
+	m := NewMF(50, 30, 8)
+	e := core.NewGPUHogwild(m, ds, 0.05)
+	e.MaxWarps = 4
+	w := m.InitParams(1)
+	before := model.MeanLoss(m, w, ds)
+	for ep := 0; ep < 40; ep++ {
+		e.RunEpoch(w)
+	}
+	after := model.MeanLoss(m, w, ds)
+	if after >= before {
+		t.Fatalf("MF GPU Hogwild made no progress: %v -> %v", before, after)
+	}
+	st := e.LastStats()
+	if st.LostIntra+st.LostInter == 0 {
+		t.Fatal("Zipf-hot items produced no update conflicts")
+	}
+}
+
+func TestMFBatchGradEqualsMean(t *testing.T) {
+	spec := NetflixLike(15, 10, 80)
+	ds := NewRatingsDataset(spec)
+	m := NewMF(15, 10, 4)
+	rng := rand.New(rand.NewSource(4))
+	w := m.InitParams(5)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.2
+	}
+	g := make([]float64, len(w))
+	loss := m.BatchGrad(nopOps{}, w, ds, nil, g)
+	want := make([]float64, len(w))
+	var wantLoss float64
+	for i := 0; i < ds.N(); i++ {
+		m.AccumGrad(w, ds, i, 1/float64(ds.N()), want, nil)
+		wantLoss += m.ExampleLoss(w, ds, i, nil)
+	}
+	wantLoss /= float64(ds.N())
+	if math.Abs(loss-wantLoss) > 1e-9 {
+		t.Fatalf("batch loss %v vs %v", loss, wantLoss)
+	}
+	for j := range g {
+		if math.Abs(g[j]-want[j]) > 1e-9 {
+			t.Fatalf("batch grad[%d]", j)
+		}
+	}
+}
+
+func TestRatingsDatasetShape(t *testing.T) {
+	spec := NetflixLike(20, 15, 100)
+	ds := NewRatingsDataset(spec)
+	if ds.X.NumCols != 35 {
+		t.Fatalf("cols = %d", ds.X.NumCols)
+	}
+	for i := 0; i < ds.N(); i++ {
+		cols, _ := ds.X.Row(i)
+		if len(cols) != 2 {
+			t.Fatalf("row %d has %d entries", i, len(cols))
+		}
+		if int(cols[0]) >= 20 || int(cols[1]) < 20 {
+			t.Fatalf("row %d encoding wrong: %v", i, cols)
+		}
+	}
+	// Deterministic.
+	ds2 := NewRatingsDataset(spec)
+	for k, v := range ds.X.Values {
+		if ds2.X.Values[k] != v {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestNewMFValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape did not panic")
+		}
+	}()
+	NewMF(0, 5, 2)
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// seqOps is a minimal Ops implementation backed directly by the tensor and
+// sparse kernels, used to test the batch formulations in isolation from the
+// cost-accounting backends.
+type seqOps struct{}
+
+func (seqOps) Gemv(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	tensor.Gemv(alpha, a, x, beta, y)
+}
+func (seqOps) GemvT(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
+	tensor.GemvT(alpha, a, x, beta, y)
+}
+func (seqOps) Gemm(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	tensor.Gemm(alpha, a, b, beta, c)
+}
+func (seqOps) GemmNT(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	tensor.GemmNT(alpha, a, b, beta, c)
+}
+func (seqOps) GemmTN(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix) {
+	tensor.GemmTN(alpha, a, b, beta, c)
+}
+func (seqOps) SpMV(a *sparse.CSR, x, y []float64)  { a.MulVec(x, y) }
+func (seqOps) SpMVT(a *sparse.CSR, x, y []float64) { a.MulVecT(x, y) }
+func (seqOps) Axpy(alpha float64, x, y []float64)  { tensor.Axpy(alpha, x, y) }
+func (seqOps) Scal(alpha float64, x []float64)     { tensor.Scal(alpha, x) }
+func (seqOps) Map(dst, src, aux []float64, f func(s, a float64) float64) {
+	for i := range dst {
+		if aux == nil {
+			dst[i] = f(src[i], 0)
+		} else {
+			dst[i] = f(src[i], aux[i])
+		}
+	}
+}
+func (seqOps) RowsMap(m *tensor.Matrix, f func(i int, row []float64)) {
+	for i := 0; i < m.Rows; i++ {
+		f(i, m.Row(i))
+	}
+}
+
+var _ Ops = seqOps{}
+
+// checkBatchEqualsMeanOfExamples is the central synchronous-engine
+// invariant: BatchGrad over a row set must equal the mean of the
+// per-example gradients, and its loss the mean of the per-example losses.
+func checkBatchEqualsMeanOfExamples(t *testing.T, m BatchModel, dsRows []int, seed int64, tol float64) {
+	t.Helper()
+	ds := testDataset(t, 25, 9, 0.5, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	w := make([]float64, m.NumParams())
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.4
+	}
+	gotG := make([]float64, m.NumParams())
+	gotLoss := m.BatchGrad(seqOps{}, w, ds, dsRows, gotG)
+
+	rows := dsRows
+	if rows == nil {
+		rows = make([]int, ds.N())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	wantG := make([]float64, m.NumParams())
+	scr := m.NewScratch()
+	var wantLoss float64
+	for _, r := range rows {
+		m.AccumGrad(w, ds, r, 1.0/float64(len(rows)), wantG, scr)
+		wantLoss += m.ExampleLoss(w, ds, r, scr)
+	}
+	wantLoss /= float64(len(rows))
+
+	if math.Abs(gotLoss-wantLoss) > tol*math.Max(1, math.Abs(wantLoss)) {
+		t.Fatalf("%s: batch loss %v, mean of examples %v", m.Name(), gotLoss, wantLoss)
+	}
+	for j := range gotG {
+		diff := math.Abs(gotG[j] - wantG[j])
+		if diff > tol*math.Max(1, math.Abs(wantG[j])) {
+			t.Fatalf("%s: batch grad[%d] = %v, mean of examples %v", m.Name(), j, gotG[j], wantG[j])
+		}
+	}
+}
+
+func TestLRBatchGradEqualsMean(t *testing.T) {
+	checkBatchEqualsMeanOfExamples(t, NewLR(9), nil, 21, 1e-9)
+}
+
+func TestSVMBatchGradEqualsMean(t *testing.T) {
+	checkBatchEqualsMeanOfExamples(t, NewSVM(9), nil, 22, 1e-9)
+}
+
+func TestMLPBatchGradEqualsMean(t *testing.T) {
+	checkBatchEqualsMeanOfExamples(t, NewMLP([]int{9, 6, 4, 2}), nil, 23, 1e-8)
+}
+
+func TestBatchGradRowSubset(t *testing.T) {
+	rows := []int{3, 7, 11, 19}
+	checkBatchEqualsMeanOfExamples(t, NewLR(9), rows, 24, 1e-9)
+	checkBatchEqualsMeanOfExamples(t, NewSVM(9), rows, 25, 1e-9)
+	checkBatchEqualsMeanOfExamples(t, NewMLP([]int{9, 5, 2}), rows, 26, 1e-8)
+}
+
+func TestMLPChunkSizeInvariant(t *testing.T) {
+	// The chunk size is a kernel-granularity choice; the gradient must be
+	// identical (up to float association) for any value.
+	ds := testDataset(t, 40, 8, 0.6, 27)
+	rng := rand.New(rand.NewSource(28))
+	base := NewMLP([]int{8, 6, 2})
+	w := make([]float64, base.NumParams())
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.3
+	}
+	ref := make([]float64, base.NumParams())
+	base.BatchGrad(seqOps{}, w, ds, nil, ref)
+	for _, chunk := range []int{1, 7, 16, 512} {
+		m := NewMLP([]int{8, 6, 2})
+		m.Chunk = chunk
+		g := make([]float64, m.NumParams())
+		m.BatchGrad(seqOps{}, w, ds, nil, g)
+		for j := range g {
+			if math.Abs(g[j]-ref[j]) > 1e-9 {
+				t.Fatalf("chunk %d: grad[%d] = %v, want %v", chunk, j, g[j], ref[j])
+			}
+		}
+	}
+}

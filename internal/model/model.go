@@ -1,0 +1,148 @@
+// Package model defines the three training tasks of the study — logistic
+// regression (LR), support vector machine (SVM), and fully-connected
+// multi-layer perceptron (MLP) — behind one Model interface with two data
+// paths:
+//
+//   - a per-example path (ExampleLoss / SGDStep / AccumGrad) used by the
+//     incremental/asynchronous engines (Hogwild and the simulated GPU
+//     kernels), which touches only the gradient support; and
+//   - a batch path (BatchModel.BatchGrad) expressed in terms of the Ops
+//     linear-algebra interface, used by the synchronous engines so that the
+//     same formulation runs on the parallel-CPU and simulated-GPU backends —
+//     the paper's ViennaCL "identical implementation, different device"
+//     property.
+//
+// Models are stateless; all parameters live in a flat []float64 so the
+// asynchronous engines can share one vector between threads and apply
+// unsynchronised or atomic component updates uniformly.
+package model
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/data"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Updater abstracts how a component update lands in the shared model:
+// RawUpdater stores with a benign race (classic Hogwild), AtomicUpdater uses
+// a compare-and-swap loop (DimmWitted-style lock-free add).
+type Updater interface {
+	// Add performs w[i] += delta under the updater's memory discipline.
+	Add(w []float64, i int, delta float64)
+}
+
+// RawUpdater applies plain stores: the Hogwild discipline — no
+// synchronisation whatsoever; concurrent writers may overwrite each other.
+type RawUpdater struct{}
+
+// Add implements Updater with an unsynchronised read-modify-write.
+func (RawUpdater) Add(w []float64, i int, delta float64) { w[i] += delta }
+
+// AtomicUpdater applies updates with a float64 CAS loop, so no increment is
+// ever lost (stale gradients remain possible — that is inherent to
+// asynchrony, not to the write discipline).
+type AtomicUpdater struct{}
+
+// Add implements Updater with a compare-and-swap retry loop.
+func (AtomicUpdater) Add(w []float64, i int, delta float64) {
+	p := (*uint64)(unsafe.Pointer(&w[i]))
+	for {
+		oldBits := atomic.LoadUint64(p)
+		newVal := float64frombits(oldBits) + delta
+		if atomic.CompareAndSwapUint64(p, oldBits, float64bits(newVal)) {
+			return
+		}
+	}
+}
+
+func float64bits(f float64) uint64     { return *(*uint64)(unsafe.Pointer(&f)) }
+func float64frombits(b uint64) float64 { return *(*float64)(unsafe.Pointer(&b)) }
+
+// Scratch holds per-worker temporary buffers (activations, deltas). Each
+// concurrent worker owns one; models define their own concrete type.
+type Scratch interface{}
+
+// Model is a trainable task over a data.Dataset.
+type Model interface {
+	// Name identifies the task ("lr", "svm", "mlp").
+	Name() string
+	// NumParams is the length of the flat parameter vector.
+	NumParams() int
+	// InitParams returns a deterministic initial parameter vector. All
+	// configurations of an experiment start from the same vector, per
+	// the paper's methodology.
+	InitParams(seed int64) []float64
+	// NewScratch allocates the per-worker scratch buffers.
+	NewScratch() Scratch
+	// ExampleLoss returns f(w; x_i, y_i).
+	ExampleLoss(w []float64, ds *data.Dataset, i int, scr Scratch) float64
+	// AccumGrad adds scale * grad f(w; x_i, y_i) into the dense g.
+	AccumGrad(w []float64, ds *data.Dataset, i int, scale float64, g []float64, scr Scratch)
+	// SGDStep performs the incremental update w <- w - step*grad f(w; x_i, y_i)
+	// in place, writing only the gradient support through upd. This is the
+	// Hogwild hot path (Algorithm 3 of the paper).
+	SGDStep(w []float64, ds *data.Dataset, i int, step float64, upd Updater, scr Scratch)
+	// GradSupport returns how many model components the gradient of
+	// example i touches; the conflict and coherence cost models use it.
+	GradSupport(ds *data.Dataset, i int) int
+}
+
+// Ops is the linear-algebra contract the batch formulations need. The
+// internal/linalg backends (parallel CPU and simulated GPU) satisfy it; cost
+// accounting happens inside the backend so the batch code stays
+// device-independent, mirroring the paper's ViennaCL usage.
+type Ops interface {
+	// Gemv computes y = alpha*A*x + beta*y for dense A.
+	Gemv(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64)
+	// GemvT computes y = alpha*A^T*x + beta*y for dense A.
+	GemvT(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64)
+	// Gemm computes C = alpha*A*B + beta*C.
+	Gemm(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix)
+	// GemmNT computes C = alpha*A*B^T + beta*C.
+	GemmNT(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix)
+	// GemmTN computes C = alpha*A^T*B + beta*C.
+	GemmTN(alpha float64, a, b *tensor.Matrix, beta float64, c *tensor.Matrix)
+	// SpMV computes y = A*x for CSR A.
+	SpMV(a *sparse.CSR, x, y []float64)
+	// SpMVT computes y = A^T*x for CSR A (overwrites y).
+	SpMVT(a *sparse.CSR, x, y []float64)
+	// Axpy computes y += alpha*x.
+	Axpy(alpha float64, x, y []float64)
+	// Scal computes x *= alpha.
+	Scal(alpha float64, x []float64)
+	// Map applies a scalar function element-wise: dst[i] = f(src[i], aux[i]).
+	// aux may be nil. It models ViennaCL's element-wise kernels.
+	Map(dst, src, aux []float64, f func(s, a float64) float64)
+	// RowsMap applies f to every row of m in place (bias addition,
+	// activations, per-row softmax). Backends may run rows concurrently,
+	// so f must not share mutable state across calls.
+	RowsMap(m *tensor.Matrix, f func(i int, row []float64))
+}
+
+// BatchModel extends Model with the synchronous batch-gradient formulation.
+type BatchModel interface {
+	Model
+	// BatchGrad computes g = mean gradient over the rows set (nil = all
+	// rows) using backend ops, and returns the mean loss at w over the
+	// same rows. g has NumParams elements and is overwritten.
+	BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64
+}
+
+// MeanLoss computes the mean per-example loss over the whole dataset with
+// the scalar path. The convergence driver uses it; its time is excluded from
+// iteration timing, following the paper's methodology.
+func MeanLoss(m Model, w []float64, ds *data.Dataset) float64 {
+	scr := m.NewScratch()
+	var s float64
+	for i := 0; i < ds.N(); i++ {
+		s += m.ExampleLoss(w, ds, i, scr)
+	}
+	return s / float64(ds.N())
+}
+
+// initRNG builds the shared deterministic initialiser stream.
+func initRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,29 @@
+package model
+
+import "math"
+
+// QuantizedUpdater applies updates at reduced precision — the Buckwild-style
+// low-precision asynchronous SGD the paper lists as future work (Section VI;
+// De Sa et al., ISCA 2017). Each delta is rounded to FracBits fractional
+// bits of fixed point before the (otherwise raw) store; the model itself
+// stays float64 so the engines are interchangeable.
+type QuantizedUpdater struct {
+	// FracBits is the number of fractional bits kept (e.g. 16 for a
+	// 16.16-style representation). Values <= 0 behave like RawUpdater.
+	FracBits int
+}
+
+// Add implements Updater with stochastic-free round-to-nearest
+// quantisation.
+func (q QuantizedUpdater) Add(w []float64, i int, delta float64) {
+	if q.FracBits > 0 {
+		scale := math.Ldexp(1, q.FracBits) // 2^FracBits
+		delta = math.Round(delta*scale) / scale
+		if delta == 0 {
+			return // underflowed the representable grid: update dropped
+		}
+	}
+	w[i] += delta
+}
+
+var _ Updater = QuantizedUpdater{}

@@ -1,0 +1,196 @@
+package numa
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestPaperMachineSpec(t *testing.T) {
+	m := PaperMachine()
+	if got := m.Spec.TotalThreads(); got != 56 {
+		t.Fatalf("threads = %d, want 56 (paper Fig. 5)", got)
+	}
+	if got := m.Spec.TotalCores(); got != 28 {
+		t.Fatalf("cores = %d, want 28", got)
+	}
+	if m.Spec.L3.Size != 35<<20 {
+		t.Fatalf("L3 = %d, want 35MB", m.Spec.L3.Size)
+	}
+}
+
+func TestFitLevelRegimes(t *testing.T) {
+	m := PaperMachine()
+	// 4.4 MB (w8a sparse) does not fit one core's private caches but
+	// fits the aggregate L2 of 28 cores and the shared L3.
+	ws := int64(44) << 17 // 5.5 MB
+	if got := m.FitLevel(ws, 1); got != InL3 {
+		t.Fatalf("seq fit = %v, want L3", got)
+	}
+	if got := m.FitLevel(ws, 56); got != InL2 {
+		t.Fatalf("par fit = %v, want L2", got)
+	}
+	// 251 MB (covtype dense) fits nowhere.
+	if got := m.FitLevel(251<<20, 56); got != InDRAM {
+		t.Fatalf("covtype fit = %v, want DRAM", got)
+	}
+	// Tiny sets fit L1.
+	if got := m.FitLevel(8<<10, 1); got != InL1 {
+		t.Fatalf("8KB fit = %v, want L1", got)
+	}
+}
+
+func TestCacheLevelString(t *testing.T) {
+	names := map[CacheLevel]string{InL1: "L1", InL2: "L2", InL3: "L3", InDRAM: "DRAM"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("%d.String() = %s", l, l.String())
+		}
+	}
+}
+
+func TestStreamTimeMonotoneInThreads(t *testing.T) {
+	m := PaperMachine()
+	// DRAM-resident streaming kernel: more threads must never be slower.
+	prev := m.StreamTime(1<<30, 1<<30, 1e9, 1)
+	for _, p := range []int{2, 4, 8, 16, 28, 56} {
+		cur := m.StreamTime(1<<30, 1<<30, 1e9, p)
+		if cur > prev {
+			t.Fatalf("StreamTime increased at %d threads: %v > %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSuperLinearSpeedupOnCacheableSet(t *testing.T) {
+	// The paper's key Table II effect: datasets that fit the aggregate
+	// caches of all cores but not of one core speed up by more than the
+	// thread count (w8a: >400x).
+	m := PaperMachine()
+	ws := int64(5) << 20 // ~w8a scale working set
+	bytes := int64(200) << 20
+	flops := 1e8
+	sp := m.ParallelSpeedup(ws, bytes, flops, 56)
+	if sp <= 56 {
+		t.Fatalf("cacheable-set speedup = %.1f, want super-linear (>56)", sp)
+	}
+}
+
+func TestSubLinearSpeedupOnHugeSet(t *testing.T) {
+	// rcv1-like: working set far beyond the aggregate caches; speedup
+	// stays below the thread count.
+	m := PaperMachine()
+	ws := int64(2) << 30
+	bytes := int64(2) << 30
+	flops := 5e8
+	sp := m.ParallelSpeedup(ws, bytes, flops, 56)
+	if sp >= 66 {
+		t.Fatalf("DRAM-bound speedup = %.1f, expected below ~56-66", sp)
+	}
+	if sp < 4 {
+		t.Fatalf("DRAM-bound speedup = %.1f, implausibly low", sp)
+	}
+}
+
+func TestSequentialSlowerThanSingleCoreShare(t *testing.T) {
+	// One thread on a DRAM-resident set must be far below 1/56th of the
+	// machine: it is latency-bound (limited outstanding misses).
+	m := PaperMachine()
+	seq := m.bandwidth(InDRAM, 1)
+	par := m.bandwidth(InDRAM, 56)
+	if seq*8 < par/56*8 {
+		t.Fatalf("per-thread bandwidth ordering wrong: seq %v, par/56 %v", seq, par/56)
+	}
+	if par/seq < 10 {
+		t.Fatalf("bandwidth ratio = %.1f, want >= 10 for the latency-bound regime", par/seq)
+	}
+}
+
+func TestHogwildDenseParallelismHurts(t *testing.T) {
+	// covtype-like: tiny dense model (54 components = 7 cache lines).
+	// Every concurrent update collides; 56 threads must be slower than 1.
+	m := PaperMachine()
+	sp := m.HogwildSpeedup(54, 100000, 54, 100000*54*8, 56)
+	if sp >= 1 {
+		t.Fatalf("dense Hogwild speedup = %.2f, want < 1 (paper Table III covtype)", sp)
+	}
+}
+
+func TestHogwildSparseParallelismHelps(t *testing.T) {
+	// news-like: 1.35M-dimensional model, ~455 nnz per update. Conflicts
+	// are rare; the paper measures ~6x.
+	m := PaperMachine()
+	sp := m.HogwildSpeedup(1355191, 20000, 455, 20000*455*12, 56)
+	if sp < 2 {
+		t.Fatalf("sparse Hogwild speedup = %.2f, want clearly > 1", sp)
+	}
+	if sp > 56 {
+		t.Fatalf("sparse Hogwild speedup = %.2f, implausibly high", sp)
+	}
+}
+
+func TestHogwildSpeedupGrowsWithDim(t *testing.T) {
+	// Fixing support, higher model dimensionality means fewer collisions
+	// and better scaling.
+	m := PaperMachine()
+	prev := 0.0
+	for _, dim := range []int{64, 1024, 65536, 1 << 20} {
+		sp := m.HogwildSpeedup(dim, 50000, 50, 50000*50*12, 56)
+		if sp < prev {
+			t.Fatalf("Hogwild speedup fell from %.2f to %.2f at dim %d", prev, sp, dim)
+		}
+		prev = sp
+	}
+}
+
+func TestHogwildSequentialHasNoPenalty(t *testing.T) {
+	m := PaperMachine()
+	base := m.StreamTime(100000*54*8+54*8, 100000*54*8+int64(100000*54*8*2), 100000*54*4, 1)
+	hog := m.HogwildEpoch(54, 100000, 54, 100000*54*8, 1)
+	if hog != base {
+		t.Fatalf("sequential Hogwild has coherence penalty: %v vs %v", hog, base)
+	}
+}
+
+func TestEffectiveCoresSMT(t *testing.T) {
+	m := PaperMachine()
+	if got := m.effectiveCores(28); got != 28 {
+		t.Fatalf("28 threads = %v cores", got)
+	}
+	got56 := m.effectiveCores(56)
+	if got56 <= 28 || got56 >= 56 {
+		t.Fatalf("56 threads = %v effective cores, want in (28, 56)", got56)
+	}
+	if got := m.effectiveCores(0); got != 1 {
+		t.Fatalf("0 threads = %v", got)
+	}
+	if got := m.effectiveCores(1000); got != got56 {
+		t.Fatalf("oversubscribed threads = %v, want clamp to %v", got, got56)
+	}
+}
+
+func TestAggregateCacheAccounting(t *testing.T) {
+	s := hw.PaperCPU()
+	if got := s.AggregateCache(s.L1D, 2); got != 32<<10 {
+		t.Fatalf("2 SMT threads share one core's L1: %d", got)
+	}
+	if got := s.AggregateCache(s.L1D, 56); got != 28*(32<<10) {
+		t.Fatalf("56 threads aggregate L1 = %d", got)
+	}
+	if got := s.AggregateCache(s.L3, 28); got != 35<<20 {
+		t.Fatalf("one socket's worth of threads L3 = %d", got)
+	}
+	if got := s.AggregateCache(s.L3, 56); got != 2*(35<<20) {
+		t.Fatalf("both sockets L3 = %d", got)
+	}
+}
+
+func TestGPUSpecDerived(t *testing.T) {
+	g := hw.PaperGPU()
+	if g.PeakFlops() <= 0 {
+		t.Fatal("peak flops non-positive")
+	}
+	if g.MaxResidentWarps() != 832 {
+		t.Fatalf("resident warps = %d, want 832", g.MaxResidentWarps())
+	}
+}

@@ -1,0 +1,278 @@
+// Package sparse implements the Compressed Sparse Row (CSR) matrix format
+// and the sparse kernels the study needs: sparse dot products against a dense
+// model, scatter-add model updates, SpMV/SpMV-transpose for the synchronous
+// engines, and dense conversion. CSR is the representation the paper uses
+// for all sparse datasets (Section I, "Problem").
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix. Row i occupies the half-open range
+// [RowPtr[i], RowPtr[i+1]) of ColIdx/Values. Column indices within a row are
+// strictly increasing.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int64   // len NumRows+1
+	ColIdx           []int32   // len nnz
+	Values           []float64 // len nnz
+}
+
+// NNZ returns the number of stored (structurally non-zero) entries.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+// RowNNZ returns the number of stored entries of row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns the column indices and values of row i as views.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Values[lo:hi]
+}
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// sorted column indices, finite values. It returns a descriptive error for
+// the first violation found.
+func (m *CSR) Validate() error {
+	if m.NumRows < 0 || m.NumCols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.NumRows, m.NumCols)
+	}
+	if len(m.RowPtr) != m.NumRows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d want %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d want 0", m.RowPtr[0])
+	}
+	nnz := int64(len(m.Values))
+	if int64(len(m.ColIdx)) != nnz {
+		return fmt.Errorf("sparse: ColIdx length %d != Values length %d", len(m.ColIdx), nnz)
+	}
+	if m.RowPtr[m.NumRows] != nnz {
+		return fmt.Errorf("sparse: RowPtr[last] = %d want nnz %d", m.RowPtr[m.NumRows], nnz)
+	}
+	for i := 0; i < m.NumRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: row %d has RowPtr %d > %d", i, lo, hi)
+		}
+		prev := int32(-1)
+		for k := lo; k < hi; k++ {
+			c := m.ColIdx[k]
+			if c < 0 || int(c) >= m.NumCols {
+				return fmt.Errorf("sparse: row %d col %d out of range [0,%d)", i, c, m.NumCols)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, c)
+			}
+			if v := m.Values[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("sparse: row %d col %d non-finite value %v", i, c, v)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// RowDot returns the inner product of row i with the dense vector w.
+func (m *CSR) RowDot(i int, w []float64) float64 {
+	cols, vals := m.Row(i)
+	var s float64
+	for k, c := range cols {
+		s += vals[k] * w[c]
+	}
+	return s
+}
+
+// RowAxpy computes w[c] += a*v for every stored (c, v) of row i: the
+// scatter-add model update at the heart of sparse incremental SGD.
+func (m *CSR) RowAxpy(i int, a float64, w []float64) {
+	cols, vals := m.Row(i)
+	for k, c := range cols {
+		w[c] += a * vals[k]
+	}
+}
+
+// MulVec computes y = A*x (len(x) == NumCols, len(y) == NumRows).
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.NumCols || len(y) != m.NumRows {
+		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d x=%d y=%d",
+			m.NumRows, m.NumCols, len(x), len(y)))
+	}
+	for i := 0; i < m.NumRows; i++ {
+		y[i] = m.RowDot(i, x)
+	}
+}
+
+// MulVecT computes y = A^T*x (len(x) == NumRows, len(y) == NumCols),
+// overwriting y.
+func (m *CSR) MulVecT(x, y []float64) {
+	if len(x) != m.NumRows || len(y) != m.NumCols {
+		panic(fmt.Sprintf("sparse: MulVecT shape mismatch A=%dx%d x=%d y=%d",
+			m.NumRows, m.NumCols, len(x), len(y)))
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.NumRows; i++ {
+		if x[i] != 0 {
+			m.RowAxpy(i, x[i], y)
+		}
+	}
+}
+
+// ToDense materialises the matrix as a dense tensor.Matrix. It panics if the
+// dense size would exceed maxElems (pass 0 for no limit); this mirrors the
+// paper's observation that rcv1 and news cannot be densified (256 GB / 217
+// GB dense sizes in Table I).
+func (m *CSR) ToDense(maxElems int64) *tensor.Matrix {
+	if maxElems > 0 && int64(m.NumRows)*int64(m.NumCols) > maxElems {
+		panic(fmt.Sprintf("sparse: dense %dx%d exceeds limit %d elements",
+			m.NumRows, m.NumCols, maxElems))
+	}
+	d := tensor.NewMatrix(m.NumRows, m.NumCols)
+	for i := 0; i < m.NumRows; i++ {
+		cols, vals := m.Row(i)
+		row := d.Row(i)
+		for k, c := range cols {
+			row[c] = vals[k]
+		}
+	}
+	return d
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *tensor.Matrix) *CSR {
+	b := NewBuilder(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DenseBytes returns the size in bytes of the dense float64 representation.
+func (m *CSR) DenseBytes() int64 {
+	return int64(m.NumRows) * int64(m.NumCols) * 8
+}
+
+// SparseBytes returns the size in bytes of the CSR representation
+// (8-byte values, 4-byte column indices, 8-byte row pointers).
+func (m *CSR) SparseBytes() int64 {
+	return int64(m.NNZ())*12 + int64(len(m.RowPtr))*8
+}
+
+// Density returns nnz / (rows*cols), in [0, 1].
+func (m *CSR) Density() float64 {
+	if m.NumRows == 0 || m.NumCols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.NumRows) * float64(m.NumCols))
+}
+
+// SelectRows returns a new CSR containing the given rows of m, in order.
+func (m *CSR) SelectRows(rows []int) *CSR {
+	out := &CSR{NumRows: len(rows), NumCols: m.NumCols}
+	out.RowPtr = make([]int64, len(rows)+1)
+	var nnz int64
+	for i, r := range rows {
+		nnz += int64(m.RowNNZ(r))
+		out.RowPtr[i+1] = nnz
+	}
+	out.ColIdx = make([]int32, nnz)
+	out.Values = make([]float64, nnz)
+	for i, r := range rows {
+		cols, vals := m.Row(r)
+		copy(out.ColIdx[out.RowPtr[i]:], cols)
+		copy(out.Values[out.RowPtr[i]:], vals)
+	}
+	return out
+}
+
+// Builder accumulates COO triplets and assembles a valid CSR. Duplicate
+// (row, col) entries are summed; columns are sorted per row at Build time.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	row int
+	col int32
+	val float64
+}
+
+// NewBuilder returns a Builder for a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add records the triplet (i, j, v). Zero values are kept (they become
+// structural entries), matching LIBSVM semantics.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of %dx%d", i, j, b.rows, b.cols))
+	}
+	b.entries = append(b.entries, entry{i, int32(j), v})
+}
+
+// Build assembles the CSR, sorting columns within rows and summing
+// duplicates.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(x, y int) bool {
+		if b.entries[x].row != b.entries[y].row {
+			return b.entries[x].row < b.entries[y].row
+		}
+		return b.entries[x].col < b.entries[y].col
+	})
+	m := &CSR{NumRows: b.rows, NumCols: b.cols}
+	m.RowPtr = make([]int64, b.rows+1)
+	for k := 0; k < len(b.entries); {
+		e := b.entries[k]
+		v := e.val
+		k++
+		for k < len(b.entries) && b.entries[k].row == e.row && b.entries[k].col == e.col {
+			v += b.entries[k].val
+			k++
+		}
+		m.ColIdx = append(m.ColIdx, e.col)
+		m.Values = append(m.Values, v)
+		m.RowPtr[e.row+1] = int64(len(m.Values))
+	}
+	for i := 1; i <= b.rows; i++ {
+		if m.RowPtr[i] < m.RowPtr[i-1] {
+			m.RowPtr[i] = m.RowPtr[i-1]
+		}
+	}
+	return m
+}
+
+// RowStats summarises the per-row nnz distribution: minimum, maximum and
+// average number of stored entries. It reproduces the "#nnz/exp" column of
+// the paper's Table I.
+func (m *CSR) RowStats() (min, max int, avg float64) {
+	if m.NumRows == 0 {
+		return 0, 0, 0
+	}
+	min = math.MaxInt
+	var total int64
+	for i := 0; i < m.NumRows; i++ {
+		n := m.RowNNZ(i)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += int64(n)
+	}
+	return min, max, float64(total) / float64(m.NumRows)
+}

@@ -1,0 +1,283 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// buildRandom builds a random valid CSR plus its dense mirror.
+func buildRandom(rng *rand.Rand, rows, cols int, density float64) (*CSR, *tensor.Matrix) {
+	b := NewBuilder(rows, cols)
+	d := tensor.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				if v == 0 {
+					v = 1
+				}
+				b.Add(i, j, v)
+				d.Set(i, j, v)
+			}
+		}
+	}
+	return b.Build(), d
+}
+
+func TestBuilderProducesValidCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, _ := buildRandom(rng, 1+rng.Intn(20), 1+rng.Intn(20), rng.Float64())
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	b.Add(1, 0, 1)
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 5 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *CSR {
+		b := NewBuilder(2, 4)
+		b.Add(0, 1, 1)
+		b.Add(0, 3, 2)
+		b.Add(1, 0, 3)
+		return b.Build()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CSR)
+	}{
+		{"rowptr first", func(m *CSR) { m.RowPtr[0] = 1 }},
+		{"rowptr monotone", func(m *CSR) { m.RowPtr[1] = 5 }},
+		{"col out of range", func(m *CSR) { m.ColIdx[0] = 9 }},
+		{"col negative", func(m *CSR) { m.ColIdx[0] = -1 }},
+		{"cols unsorted", func(m *CSR) { m.ColIdx[0], m.ColIdx[1] = m.ColIdx[1], m.ColIdx[0] }},
+		{"nan value", func(m *CSR) { m.Values[0] = math.NaN() }},
+		{"inf value", func(m *CSR) { m.Values[2] = math.Inf(1) }},
+		{"rowptr tail", func(m *CSR) { m.RowPtr[2] = 2 }},
+	}
+	for _, tc := range cases {
+		m := mk()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: baseline invalid: %v", tc.name, err)
+		}
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, d := buildRandom(rng, 15, 9, 0.3)
+	back := FromDense(m.ToDense(0))
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip NNZ %d -> %d", m.NNZ(), back.NNZ())
+	}
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 9; j++ {
+			if back.ToDense(0).At(i, j) != d.At(i, j) {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestToDenseLimitPanics(t *testing.T) {
+	m, _ := buildRandom(rand.New(rand.NewSource(3)), 10, 10, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ToDense over limit did not panic")
+		}
+	}()
+	m.ToDense(50)
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m, d := buildRandom(rng, rows, cols, 0.4)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		m.MulVec(x, got)
+		want := make([]float64, rows)
+		tensor.Gemv(1, d, x, 0, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m, d := buildRandom(rng, rows, cols, 0.4)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		m.MulVecT(x, got)
+		want := make([]float64, cols)
+		tensor.GemvT(1, d, x, 0, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("MulVecT[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m, _ := buildRandom(rand.New(rand.NewSource(6)), 3, 4, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	m.MulVec(make([]float64, 3), make([]float64, 3))
+}
+
+func TestRowDotRowAxpy(t *testing.T) {
+	b := NewBuilder(1, 5)
+	b.Add(0, 1, 2)
+	b.Add(0, 4, -1)
+	m := b.Build()
+	w := []float64{1, 1, 1, 1, 1}
+	if got := m.RowDot(0, w); got != 1 {
+		t.Fatalf("RowDot = %v, want 1", got)
+	}
+	m.RowAxpy(0, 2, w)
+	if w[1] != 5 || w[4] != -1 || w[0] != 1 {
+		t.Fatalf("RowAxpy: w = %v", w)
+	}
+}
+
+func TestSpMVLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, _ := buildRandom(rng, 10, 8, 0.3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x1 := make([]float64, 8)
+		x2 := make([]float64, 8)
+		sum := make([]float64, 8)
+		for i := range x1 {
+			x1[i], x2[i] = r.NormFloat64(), r.NormFloat64()
+			sum[i] = x1[i] + x2[i]
+		}
+		y1 := make([]float64, 10)
+		y2 := make([]float64, 10)
+		ys := make([]float64, 10)
+		m.MulVec(x1, y1)
+		m.MulVec(x2, y2)
+		m.MulVec(sum, ys)
+		for i := range ys {
+			if math.Abs(ys[i]-(y1[i]+y2[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, d := buildRandom(rng, 10, 6, 0.4)
+	sel := m.SelectRows([]int{7, 2, 2})
+	if sel.NumRows != 3 {
+		t.Fatalf("NumRows = %d", sel.NumRows)
+	}
+	if err := sel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []int{7, 2, 2} {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = 1
+		}
+		if got, want := sel.RowDot(i, x), tensor.Sum(d.Row(r)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("row %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	m, _ := buildRandom(rand.New(rand.NewSource(9)), 10, 20, 0.25)
+	if m.DenseBytes() != 10*20*8 {
+		t.Fatalf("DenseBytes = %d", m.DenseBytes())
+	}
+	wantSparse := int64(m.NNZ())*12 + 11*8
+	if m.SparseBytes() != wantSparse {
+		t.Fatalf("SparseBytes = %d, want %d", m.SparseBytes(), wantSparse)
+	}
+	density := m.Density()
+	if density <= 0 || density > 1 {
+		t.Fatalf("Density = %v", density)
+	}
+}
+
+func TestRowStats(t *testing.T) {
+	b := NewBuilder(3, 10)
+	b.Add(0, 0, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 1)
+	b.Add(1, 2, 1)
+	// row 2 empty
+	m := b.Build()
+	min, max, avg := m.RowStats()
+	if min != 0 || max != 3 || math.Abs(avg-4.0/3) > 1e-12 {
+		t.Fatalf("RowStats = %d %d %v", min, max, avg)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewBuilder(0, 0).Build()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Density() != 0 {
+		t.Fatal("empty density != 0")
+	}
+	min, max, avg := m.RowStats()
+	if min != 0 || max != 0 || avg != 0 {
+		t.Fatal("empty RowStats nonzero")
+	}
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// transpose returns a copy of m transposed.
+func transpose(m *Matrix) *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+func TestGemmNTMatchesGemmOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 1+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(7)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, n, k)
+		c := randMatrix(rng, m, n)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+
+		got := c.Clone()
+		GemmNT(alpha, a, b, beta, got)
+		want := c.Clone()
+		Gemm(alpha, a, transpose(b), beta, want)
+		for i := range got.Data {
+			if !almostEq(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("trial %d: GemmNT[%d] = %v, want %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmTNMatchesGemmOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 1+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(7)
+		a := randMatrix(rng, k, m)
+		b := randMatrix(rng, k, n)
+		c := randMatrix(rng, m, n)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+
+		got := c.Clone()
+		GemmTN(alpha, a, b, beta, got)
+		want := c.Clone()
+		Gemm(alpha, transpose(a), b, beta, want)
+		for i := range got.Data {
+			if !almostEq(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("trial %d: GemmTN[%d] = %v, want %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmNTShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	GemmNT(1, NewMatrix(2, 3), NewMatrix(2, 4), 0, NewMatrix(2, 2))
+}
+
+func TestGemmTNShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	GemmTN(1, NewMatrix(2, 3), NewMatrix(3, 4), 0, NewMatrix(3, 4))
+}
+
+func TestGemmRowPartitionedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 9, 5)
+	bNT := randMatrix(rng, 7, 5)
+	whole := NewMatrix(9, 7)
+	GemmNT(1, a, bNT, 0, whole)
+	parts := NewMatrix(9, 7)
+	for lo := 0; lo < 9; lo += 2 {
+		hi := lo + 2
+		if hi > 9 {
+			hi = 9
+		}
+		GemmNTRows(1, a, bNT, 0, parts, lo, hi)
+	}
+	for i := range whole.Data {
+		if !almostEq(whole.Data[i], parts.Data[i], 1e-12) {
+			t.Fatal("GemmNTRows partition mismatch")
+		}
+	}
+
+	bTN := randMatrix(rng, 9, 4)
+	wholeTN := NewMatrix(5, 4)
+	GemmTN(1, a, bTN, 0, wholeTN)
+	partsTN := NewMatrix(5, 4)
+	for lo := 0; lo < 5; lo += 2 {
+		hi := lo + 2
+		if hi > 5 {
+			hi = 5
+		}
+		GemmTNRows(1, a, bTN, 0, partsTN, lo, hi)
+	}
+	for i := range wholeTN.Data {
+		if !almostEq(wholeTN.Data[i], partsTN.Data[i], 1e-12) {
+			t.Fatal("GemmTNRows partition mismatch")
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScal(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy: y = %v, want %v", y, want)
+		}
+	}
+	Scal(0.5, y)
+	want = []float64{1.5, 2.5, 3.5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Scal: y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	dst := make([]float64, 3)
+	AddTo(dst, x, y)
+	if dst[0] != 5 || dst[2] != 9 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	SubTo(dst, y, x)
+	if dst[0] != 3 || dst[2] != 3 {
+		t.Fatalf("SubTo = %v", dst)
+	}
+	MulTo(dst, x, y)
+	if dst[1] != 10 {
+		t.Fatalf("MulTo = %v", dst)
+	}
+}
+
+func TestNormSumMaxArgMax(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almostEq(got, 5, eps) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Sum(x); got != -1 {
+		t.Fatalf("Sum = %v, want -1", got)
+	}
+	if got := Max(x); got != 3 {
+		t.Fatalf("Max = %v, want 3", got)
+	}
+	if got := ArgMax(x); got != 0 {
+		t.Fatalf("ArgMax = %v, want 0", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %v, want -1", got)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatalf("Set/At = %v", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone aliases original")
+	}
+	m.Fill(7)
+	if m.At(1, 1) != 7 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.At(1, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestGemvAgainstManual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	x := []float64{1, 0, -1}
+	y := []float64{10, 20}
+	Gemv(2, a, x, 1, y) // y = 2*A*x + y = 2*[-2,-2] + [10,20]
+	if y[0] != 6 || y[1] != 16 {
+		t.Fatalf("Gemv = %v, want [6 16]", y)
+	}
+}
+
+func TestGemvTAgainstManual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{1, 1, 1}
+	y := make([]float64, 2)
+	GemvT(1, a, x, 0, y)
+	if y[0] != 9 || y[1] != 12 {
+		t.Fatalf("GemvT = %v, want [9 12]", y)
+	}
+}
+
+// naiveGemm is the reference implementation for property testing.
+func naiveGemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) *Matrix {
+	out := c.Clone()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+	return out
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestGemmPropertyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		c := randMatrix(rng, m, n)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		want := naiveGemm(alpha, a, b, beta, c)
+		got := c.Clone()
+		Gemm(alpha, a, b, beta, got)
+		for i := range got.Data {
+			if !almostEq(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("trial %d: Gemm[%d] = %v, want %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmRowsPartitionEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 13, 7)
+	b := randMatrix(rng, 7, 9)
+	whole := NewMatrix(13, 9)
+	Gemm(1, a, b, 0, whole)
+	parts := NewMatrix(13, 9)
+	for lo := 0; lo < 13; lo += 4 {
+		hi := lo + 4
+		if hi > 13 {
+			hi = 13
+		}
+		GemmRows(1, a, b, 0, parts, lo, hi)
+	}
+	for i := range whole.Data {
+		if !almostEq(whole.Data[i], parts.Data[i], 1e-12) {
+			t.Fatal("partitioned GemmRows disagrees with Gemm")
+		}
+	}
+}
+
+func TestOuter(t *testing.T) {
+	a := NewMatrix(2, 3)
+	Outer(2, []float64{1, 2}, []float64{1, 0, -1}, a)
+	if a.At(0, 0) != 2 || a.At(1, 2) != -4 {
+		t.Fatalf("Outer = %+v", a.Data)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		for i, v := range raw {
+			x[i] = math.Mod(v, 50) // keep exponents sane
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		dst := make([]float64, len(x))
+		Softmax(dst, x)
+		var sum float64
+		for _, p := range dst {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	x := []float64{1, 2, 3}
+	a := make([]float64, 3)
+	bx := []float64{101, 102, 103}
+	b := make([]float64, 3)
+	Softmax(a, x)
+	Softmax(b, bx)
+	for i := range a {
+		if !almostEq(a[i], b[i], 1e-12) {
+			t.Fatalf("softmax not shift invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if got := Sigmoid(1000); got != 1 {
+		t.Fatalf("Sigmoid(1000) = %v", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Fatalf("Sigmoid(-1000) = %v", got)
+	}
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	// 1 - sigmoid(v) == sigmoid(-v)
+	for _, v := range []float64{-3, -0.5, 0.1, 2, 30} {
+		if !almostEq(1-Sigmoid(v), Sigmoid(-v), 1e-12) {
+			t.Fatalf("sigmoid symmetry broken at %v", v)
+		}
+	}
+}
+
+func TestLog1pExpStability(t *testing.T) {
+	if got := Log1pExp(1000); got != 1000 {
+		t.Fatalf("Log1pExp(1000) = %v", got)
+	}
+	if got := Log1pExp(-1000); got != 0 {
+		t.Fatalf("Log1pExp(-1000) = %v", got)
+	}
+	if !almostEq(Log1pExp(0), math.Log(2), 1e-12) {
+		t.Fatalf("Log1pExp(0) = %v", Log1pExp(0))
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestGemvTLinearity(t *testing.T) {
+	// Property: GemvT(a, x1+x2) == GemvT(a, x1) + GemvT(a, x2).
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 6, 4)
+	x1 := make([]float64, 6)
+	x2 := make([]float64, 6)
+	for i := range x1 {
+		x1[i], x2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	sum := make([]float64, 6)
+	AddTo(sum, x1, x2)
+	y1 := make([]float64, 4)
+	y2 := make([]float64, 4)
+	ySum := make([]float64, 4)
+	GemvT(1, a, x1, 0, y1)
+	GemvT(1, a, x2, 0, y2)
+	GemvT(1, a, sum, 0, ySum)
+	for j := range ySum {
+		if !almostEq(ySum[j], y1[j]+y2[j], 1e-9) {
+			t.Fatal("GemvT not linear")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package parsgd is the public API of the study "Stochastic Gradient
+// Descent on Modern Hardware: Multi-core CPU or GPU? Synchronous or
+// Asynchronous?" (IPDPS 2019) reproduced in pure Go.
+//
+// It exposes, as one façade, the pieces a downstream user needs:
+//
+//   - Datasets: the five Table I datasets as deterministic synthetic
+//     equivalents (GenerateDataset, DatasetNames), LIBSVM IO for the real
+//     files, and the paper's MLP feature-grouping transform.
+//   - Tasks: logistic regression, linear SVM and fully-connected MLPs with
+//     per-example and batch gradients (NewLR, NewSVM, NewMLP).
+//   - Engines: every point of the paper's configuration cube — synchronous
+//     SGD over a device-independent linear-algebra backend (NewSyncEngine
+//     with CPUBackend/GPUBackend), Hogwild on goroutines (NewHogwildEngine),
+//     Hogwild on the simulated SIMT GPU (NewGPUHogwildEngine), and Hogbatch
+//     for MLP (NewHogbatchEngine).
+//   - Measurement: RunToConvergence drives any engine against the paper's
+//     methodology (tuned steps, identical initialisation, 10/5/2/1%
+//     thresholds) and the bench.Harness regenerates every table and figure.
+//
+// The GPU is a simulator: update semantics (warp lockstep, write conflicts,
+// bounded occupancy) execute functionally, so statistical efficiency is a
+// real measurement; kernel time comes from a coalescing/divergence cost
+// model of the paper's Tesla K80. CPU timing is priced against the paper's
+// dual-socket Xeon by an analytic NUMA model while the Hogwild races run for
+// real on goroutines. See DESIGN.md for the substitution rationale.
+package parsgd
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/gpusim"
+	"repro/internal/hw"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/numa"
+)
+
+// Datasets.
+type (
+	// Dataset is a labelled training set (CSR features, ±1 labels).
+	Dataset = data.Dataset
+	// DatasetSpec describes a registry dataset (Table I statistics).
+	DatasetSpec = data.Spec
+	// DatasetStats summarises a dataset like the paper's Table I.
+	DatasetStats = data.Stats
+)
+
+// DatasetNames lists the five study datasets in Table I order.
+func DatasetNames() []string { return data.Names() }
+
+// LookupDataset returns the registry spec for a dataset name.
+func LookupDataset(name string) (DatasetSpec, error) { return data.Lookup(name) }
+
+// GenerateDataset builds the deterministic synthetic equivalent of a spec;
+// use spec.Scaled to reduce the example count.
+func GenerateDataset(spec DatasetSpec) *Dataset { return data.Generate(spec) }
+
+// GroupFeatures applies the paper's MLP preprocessing (average groups of
+// consecutive features down to `inputs` columns).
+func GroupFeatures(d *Dataset, inputs int) (*Dataset, error) {
+	return data.GroupFeatures(d, inputs)
+}
+
+// DatasetStatsOf computes Table I-style statistics.
+func DatasetStatsOf(d *Dataset) DatasetStats { return data.ComputeStats(d) }
+
+// Models.
+type (
+	// Model is a trainable task (see NewLR, NewSVM, NewMLP).
+	Model = model.Model
+	// BatchModel adds the synchronous batch-gradient formulation.
+	BatchModel = model.BatchModel
+	// MLP is the fully-connected network task.
+	MLP = model.MLP
+)
+
+// NewLR returns a logistic-regression task over dim features.
+func NewLR(dim int) BatchModel { return model.NewLR(dim) }
+
+// NewSVM returns a hinge-loss SVM task over dim features.
+func NewSVM(dim int) BatchModel { return model.NewSVM(dim) }
+
+// NewMLP returns a fully-connected MLP task with the given layer widths
+// (e.g. 54-10-5-2 as []int{54, 10, 5, 2}).
+func NewMLP(widths []int) *MLP { return model.NewMLP(widths) }
+
+// Hardware and backends.
+type (
+	// CPUBackend prices operations against the paper's dual-socket Xeon.
+	CPUBackend = linalg.CPUBackend
+	// GPUBackend prices operations against the simulated Tesla K80.
+	GPUBackend = linalg.GPUBackend
+	// Backend is the device-independent linear-algebra contract.
+	Backend = linalg.Backend
+	// GPUDevice is the simulated SIMT device.
+	GPUDevice = gpusim.Device
+	// NUMAModel is the CPU cost model.
+	NUMAModel = numa.Model
+)
+
+// NewCPUBackend returns a CPU backend modeling `threads` hardware threads
+// (1 = the paper's cpu-seq, 56 = cpu-par).
+func NewCPUBackend(threads int) *CPUBackend { return linalg.NewCPU(threads) }
+
+// NewGPUBackend returns a backend for the paper's Tesla K80.
+func NewGPUBackend() *GPUBackend { return linalg.NewK80() }
+
+// K80 returns the simulated device itself (kernel costs, async execution).
+func K80() *GPUDevice { return gpusim.K80() }
+
+// PaperCPU returns the hardware description of the study's NUMA machine.
+func PaperCPU() *hw.CPUSpec { return hw.PaperCPU() }
+
+// PaperGPU returns the hardware description of the study's GPU.
+func PaperGPU() *hw.GPUSpec { return hw.PaperGPU() }
+
+// Engines and the convergence driver.
+type (
+	// Engine advances a model by one optimization epoch.
+	Engine = core.Engine
+	// SyncEngine is synchronous (batch) SGD on a backend.
+	SyncEngine = core.SyncEngine
+	// HogwildEngine is asynchronous SGD on CPU threads.
+	HogwildEngine = core.HogwildEngine
+	// GPUHogwildEngine is asynchronous SGD on simulated GPU warps.
+	GPUHogwildEngine = core.GPUHogwildEngine
+	// HogbatchEngine is the mini-batch asynchronous engine used for MLP.
+	HogbatchEngine = core.HogbatchEngine
+	// RunResult reports a convergence drive.
+	RunResult = core.RunResult
+	// DriverOpts parameterises RunToConvergence.
+	DriverOpts = core.DriverOpts
+	// LossPoint is one sample of a convergence curve.
+	LossPoint = core.LossPoint
+)
+
+// Hogbatch execution flavours.
+const (
+	HogbatchSeq    = core.HogbatchSeq
+	HogbatchParCPU = core.HogbatchParCPU
+	HogbatchGPU    = core.HogbatchGPU
+)
+
+// NewSyncEngine builds the synchronous configuration on any backend.
+func NewSyncEngine(b Backend, m BatchModel, ds *Dataset, step float64) *SyncEngine {
+	return core.NewSync(b, m, ds, step)
+}
+
+// NewHogwildEngine builds CPU Hogwild with `threads` modeled threads.
+func NewHogwildEngine(m Model, ds *Dataset, step float64, threads int) *HogwildEngine {
+	return core.NewHogwild(m, ds, step, threads)
+}
+
+// NewGPUHogwildEngine builds the simulated-GPU asynchronous configuration.
+func NewGPUHogwildEngine(m Model, ds *Dataset, step float64) *GPUHogwildEngine {
+	return core.NewGPUHogwild(m, ds, step)
+}
+
+// NewHogbatchEngine builds the MLP asynchronous configuration.
+func NewHogbatchEngine(m BatchModel, ds *Dataset, step float64, mode core.HogbatchMode) *HogbatchEngine {
+	return core.NewHogbatch(m, ds, step, mode)
+}
+
+// RunToConvergence drives an engine with the paper's methodology.
+func RunToConvergence(e Engine, m Model, ds *Dataset, w []float64, opts DriverOpts) RunResult {
+	return core.RunToConvergence(e, m, ds, w, opts)
+}
+
+// TuneStep grid-searches the step size like the paper (powers of ten).
+func TuneStep(mk func(step float64) Engine, m Model, ds *Dataset, init []float64, probeEpochs int) float64 {
+	return core.TuneStep(mk, m, ds, init, probeEpochs)
+}
+
+// EstimateOptLoss approximates the reference optimal loss.
+func EstimateOptLoss(m Model, ds *Dataset, epochs int) float64 {
+	return core.EstimateOptLoss(m, ds, epochs)
+}
+
+// MeanLoss evaluates the mean loss of a model state over a dataset.
+func MeanLoss(m Model, w []float64, ds *Dataset) float64 {
+	return model.MeanLoss(m, w, ds)
+}
+
+// Experiment harness.
+type (
+	// Harness regenerates the paper's tables and figures.
+	Harness = bench.Harness
+	// HarnessOptions configures a harness run.
+	HarnessOptions = bench.Options
+)
+
+// NewHarness builds the experiment harness.
+func NewHarness(opts HarnessOptions) *Harness { return bench.New(opts) }
