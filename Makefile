@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: static analysis over everything, plus the
+# race detector on the concurrency-heavy packages (the Hogwild engines race
+# goroutines on a shared model by design; the observability recorders must
+# stay safe under that).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core ./internal/obs
+
+# bench regenerates the paper's tables at a small scale with a trace.
+bench:
+	$(GO) run ./cmd/sgdbench -experiment table2,table3 -maxn 1000 -trace run.jsonl -obs

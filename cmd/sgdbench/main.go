@@ -4,17 +4,26 @@
 //
 //	sgdbench -experiment table1|table2|table3|fig6|fig7|fig8|fig9|all \
 //	         [-maxn 4000] [-datasets covtype,w8a] [-tasks lr,svm,mlp] \
-//	         [-epochs 300] [-tol 0.01] [-v]
+//	         [-epochs 300] [-tol 0.01] [-v] [-quiet] \
+//	         [-trace run.jsonl] [-obs] [-debug-addr :6060]
 //
 // Times are modeled device seconds for the paper's hardware (2x Xeon
 // E5-2660 v4, Tesla K80) priced at the full Table I dataset sizes;
 // statistical efficiency (epochs) is measured by actually running every
 // configuration at the generated scale.
+//
+// Observability: -trace streams one JSONL event per (engine, dataset, epoch)
+// for inspection with sgdtrace; -obs prints per-engine phase/counter
+// summaries after the experiments; -debug-addr serves expvar ("sgd_obs"),
+// net/http/pprof and a Prometheus /metrics endpoint while the run executes.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -30,8 +39,12 @@ func main() {
 		epochs     = flag.Int("epochs", 300, "max epochs per convergence drive")
 		tol        = flag.Float64("tol", 0.01, "convergence tolerance relative to the optimal loss")
 		verbose    = flag.Bool("v", false, "log progress")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging even with -v")
 		curveDir   = flag.String("curves", "", "directory for Fig 7 loss-curve CSVs")
 		repeats    = flag.Int("repeats", 1, "repetitions of each asynchronous drive (paper: >=10)")
+		tracePath  = flag.String("trace", "", "write a JSONL observability trace to this file (inspect with sgdtrace)")
+		obsSummary = flag.Bool("obs", false, "print per-engine phase/counter summaries after the run")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar, pprof and Prometheus /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -40,9 +53,11 @@ func main() {
 		MaxEpochs: *epochs,
 		Tol:       *tol,
 		Verbose:   *verbose,
+		Quiet:     *quiet,
 		Out:       os.Stdout,
 		CurveDir:  *curveDir,
 		Repeats:   *repeats,
+		TracePath: *tracePath,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
@@ -50,7 +65,32 @@ func main() {
 	if *tasks != "" {
 		opts.Tasks = strings.Split(*tasks, ",")
 	}
+	if *tracePath != "" {
+		// Fail with a clean error on an unwritable path instead of the
+		// harness panic; New reopens (and truncates) the same file.
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgdbench: cannot create trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	h := bench.New(opts)
+
+	if *debugAddr != "" {
+		// expvar and net/http/pprof register on the default mux; add the
+		// Prometheus-style snapshot of the harness aggregator next to them.
+		expvar.Publish("sgd_obs", expvar.Func(h.Aggregator().Export))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			fmt.Fprint(w, h.Aggregator().Snapshot())
+		})
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sgdbench: debug server: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(name string) {
 		switch name {
@@ -79,9 +119,18 @@ func main() {
 		for _, name := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"} {
 			run(name)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*experiment, ",") {
+			run(name)
+		}
 	}
-	for _, name := range strings.Split(*experiment, ",") {
-		run(name)
+
+	if *obsSummary {
+		fmt.Println("Observability summary")
+		fmt.Print(h.Aggregator().Summary())
+	}
+	if err := h.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sgdbench: closing trace: %v\n", err)
+		os.Exit(1)
 	}
 }

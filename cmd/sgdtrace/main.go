@@ -1,0 +1,90 @@
+// Command sgdtrace inspects JSONL observability traces produced by the bench
+// harness (bench.Options.TracePath / sgdbench -trace): it replays the events
+// through the same aggregator the live harness uses and prints per-engine
+// phase breakdowns, counter summaries and derived rates.
+//
+// Usage:
+//
+//	sgdtrace [-engine async] [-dataset w8a] [-prom] trace.jsonl [more.jsonl...]
+//
+// Pass "-" to read a trace from stdin. With -prom the aggregate is printed in
+// the Prometheus text exposition format instead of the summary tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "", "keep only events whose engine name contains this (at a word boundary, so \"sync\" does not match \"async\")")
+		dataset = flag.String("dataset", "", "keep only events whose dataset name contains this (at a word boundary)")
+		prom    = flag.Bool("prom", false, "print the Prometheus text snapshot instead of summary tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sgdtrace [flags] trace.jsonl [more.jsonl...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	agg := obs.NewAggregator()
+	var total, kept int
+	for _, path := range flag.Args() {
+		var events []obs.Event
+		var err error
+		if path == "-" {
+			events, err = obs.ReadTrace(os.Stdin)
+		} else {
+			events, err = obs.ReadTraceFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgdtrace: %v\n", err)
+			os.Exit(1)
+		}
+		for _, ev := range events {
+			total++
+			if *engine != "" && !matchName(ev.Engine, *engine) {
+				continue
+			}
+			if *dataset != "" && !matchName(ev.Dataset, *dataset) {
+				continue
+			}
+			kept++
+			agg.AddEvent(ev)
+		}
+	}
+
+	if *prom {
+		fmt.Print(agg.Snapshot())
+		return
+	}
+	fmt.Printf("%d events read, %d after filters, %d runs\n\n", total, kept, len(agg.Runs()))
+	fmt.Print(agg.Summary())
+}
+
+// matchName reports whether name contains pat starting at a word boundary.
+// Engine names nest ("sync/cpu-par(56)", "async/gpu"), so a plain substring
+// match would make -engine sync select the async runs too.
+func matchName(name, pat string) bool {
+	for i := 0; i+len(pat) <= len(name); i++ {
+		if !strings.HasPrefix(name[i:], pat) {
+			continue
+		}
+		if i == 0 {
+			return true
+		}
+		if c := name[i-1]; !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9') {
+			return true
+		}
+	}
+	return false
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Options configures a harness run.
@@ -53,6 +54,13 @@ type Options struct {
 	// times with different shuffles and reports the means — the paper's
 	// ">= 10 repetitions" methodology (default 1 to keep runs cheap).
 	Repeats int
+	// TracePath, when set, streams one JSONL obs.Event per (engine,
+	// dataset, epoch) of every instrumented drive to that file; inspect it
+	// with cmd/sgdtrace. Close the harness to flush it.
+	TracePath string
+	// Quiet suppresses the progress log even when Verbose is set (the
+	// tables themselves still print to Out).
+	Quiet bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,24 +97,75 @@ func (o Options) withDefaults() Options {
 // Harness caches datasets, optimal losses and tuned steps across the
 // experiments of one run.
 type Harness struct {
-	opts Options
+	opts  Options
+	log   *obs.Logger
+	trace *obs.TraceWriter
+	agg   *obs.Aggregator
 
 	mu    sync.Mutex
 	preps map[string]*dsPrep
 	tasks map[string]*taskPrep
 }
 
-// New builds a harness.
+// New builds a harness. It panics if Options.TracePath cannot be created,
+// like the dataset registry does for config errors.
 func New(opts Options) *Harness {
-	return &Harness{
+	h := &Harness{
 		opts:  opts.withDefaults(),
+		agg:   obs.NewAggregator(),
 		preps: make(map[string]*dsPrep),
 		tasks: make(map[string]*taskPrep),
 	}
+	if h.opts.Verbose && !h.opts.Quiet && h.opts.Out != nil {
+		h.log = obs.NewLogger(h.opts.Out, obs.LevelInfo)
+	}
+	if h.opts.TracePath != "" {
+		tw, err := obs.CreateTrace(h.opts.TracePath)
+		if err != nil {
+			panic(fmt.Errorf("bench: cannot create trace: %w", err))
+		}
+		h.trace = tw
+	}
+	return h
 }
 
 // Options returns the effective (defaulted) options.
 func (h *Harness) Options() Options { return h.opts }
+
+// Aggregator exposes the in-memory observability totals accumulated by every
+// instrumented drive of this harness (Prometheus snapshot, run summaries,
+// expvar export).
+func (h *Harness) Aggregator() *obs.Aggregator { return h.agg }
+
+// Close flushes the JSONL trace, if one was requested. The harness remains
+// usable, but further events are dropped by the closed writer.
+func (h *Harness) Close() error {
+	if h.trace != nil {
+		return h.trace.Close()
+	}
+	return nil
+}
+
+// recorder builds the observability sink for one (engine, dataset) run:
+// always the in-memory aggregator, teed into the JSONL trace when one was
+// requested. Callers pass it to core.DriverOpts.Rec or drive it directly.
+func (h *Harness) recorder(engine, dataset string) obs.Recorder {
+	if h.trace == nil {
+		return h.agg.Run(engine, dataset)
+	}
+	return obs.Tee(h.agg.Run(engine, dataset), h.trace.Run(engine, dataset))
+}
+
+// tpi prices one epoch of e on a fresh copy of init under the run's recorder
+// (the hardware-efficiency axis; loss evaluation excluded, as in the paper).
+func (h *Harness) tpi(e core.Engine, init []float64, dataset string) float64 {
+	rec := h.recorder(e.Name(), dataset)
+	core.Instrument(e, rec)
+	w := append([]float64(nil), init...)
+	sec := e.RunEpoch(w)
+	rec.EndEpoch(sec)
+	return sec
+}
 
 // dsPrep is one generated dataset with its cost-scaling factor.
 type dsPrep struct {
@@ -133,9 +192,7 @@ type taskPrep struct {
 }
 
 func (h *Harness) logf(format string, args ...any) {
-	if h.opts.Verbose && h.opts.Out != nil {
-		fmt.Fprintf(h.opts.Out, format, args...)
-	}
+	h.log.Infof(format, args...)
 }
 
 // prep generates (once) the scaled dataset for name.

@@ -3,8 +3,11 @@ package bench
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // tinyOpts keeps harness tests fast: two datasets, small N, short budgets.
@@ -164,6 +167,83 @@ func TestTolSweepMonotone(t *testing.T) {
 					order[i]*100, m[order[i]], order[i-1]*100, m[order[i-1]])
 			}
 		}
+	}
+}
+
+func TestHarnessRecordsTrace(t *testing.T) {
+	opts := tinyOpts()
+	opts.Datasets = []string{"w8a"}
+	opts.TracePath = filepath.Join(t.TempDir(), "run.jsonl")
+	h := New(opts)
+	h.Table2()
+	h.Table3()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadTraceFile(opts.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	// Replay through the same aggregation path sgdtrace uses and check the
+	// acceptance invariants: phase decompositions reconcile with the
+	// modeled epoch time (within the issue's 5% budget), Hogwild runs
+	// carry worker-update counters, synchronous runs carry barrier time.
+	agg := obs.NewAggregator()
+	for _, ev := range events {
+		agg.AddEvent(ev)
+	}
+	var sawAsync, sawSyncBarrier bool
+	for _, r := range agg.Runs() {
+		sum, sec := r.EnginePhaseSum(), r.Seconds
+		if sec > 0 && math.Abs(sum-sec) > 0.05*sec {
+			t.Errorf("%s/%s: phase sum %v vs modeled %v (>5%% apart)", r.Engine, r.Dataset, sum, sec)
+		}
+		if strings.HasPrefix(r.Engine, "async/cpu") {
+			sawAsync = true
+			if r.Counter(obs.CounterWorkerUpdates) <= 0 {
+				t.Errorf("%s/%s: no worker updates recorded", r.Engine, r.Dataset)
+			}
+		}
+		if strings.HasPrefix(r.Engine, "sync/") && r.Phase(obs.PhaseBarrier) > 0 {
+			sawSyncBarrier = true
+		}
+	}
+	if !sawAsync {
+		t.Error("no async CPU runs in trace")
+	}
+	if !sawSyncBarrier {
+		t.Error("no sync run recorded barrier time")
+	}
+	// The in-memory aggregator must agree with the trace replay.
+	if live := h.Aggregator().Runs(); len(live) != len(agg.Runs()) {
+		t.Errorf("live aggregator has %d runs, trace replay %d", len(live), len(agg.Runs()))
+	}
+}
+
+func TestHarnessQuietSuppressesProgress(t *testing.T) {
+	run := func(quiet bool) string {
+		var buf bytes.Buffer
+		opts := tinyOpts()
+		opts.Datasets = []string{"w8a"}
+		opts.Verbose = true
+		opts.Quiet = quiet
+		opts.Out = &buf
+		New(opts).Table2()
+		return buf.String()
+	}
+	if out := run(false); !strings.Contains(out, "# preparing") {
+		t.Fatalf("verbose run missing progress lines:\n%s", out)
+	}
+	out := run(true)
+	if strings.Contains(out, "# preparing") {
+		t.Fatal("Quiet did not suppress progress lines")
+	}
+	if !strings.Contains(out, "Table II") {
+		t.Fatal("Quiet must not suppress the result tables")
 	}
 }
 

@@ -231,12 +231,12 @@ func (h *Harness) speedupRow(task, dsName, fw string) Fig8Row {
 	init := t.m.InitParams(1)
 	row := Fig8Row{Task: task, Dataset: dsName, FrameworkName: fw}
 
-	sgpu := tpi(h.syncEngine(dsName, task, t.syncStep, "gpu"), init)
-	spar := tpi(h.syncEngine(dsName, task, t.syncStep, "cpu-par"), init)
+	sgpu := h.tpi(h.syncEngine(dsName, task, t.syncStep, "gpu"), init, dsName)
+	spar := h.tpi(h.syncEngine(dsName, task, t.syncStep, "cpu-par"), init, dsName)
 	row.OursSync = spar / sgpu
 
-	agpu := tpi(h.asyncEngine(dsName, task, t.asyncStep, "gpu"), init)
-	apar := tpi(h.asyncEngine(dsName, task, t.asyncStep, "cpu-par"), init)
+	agpu := h.tpi(h.asyncEngine(dsName, task, t.asyncStep, "gpu"), init, dsName)
+	apar := h.tpi(h.asyncEngine(dsName, task, t.asyncStep, "cpu-par"), init, dsName)
 	row.OursAsync = apar / agpu
 
 	var fgpu, fpar float64

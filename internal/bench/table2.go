@@ -57,7 +57,7 @@ func (h *Harness) table2Row(task, dsName string) Table2Row {
 
 	// Hardware efficiency: one priced epoch per device.
 	for di, dev := range table2Devices {
-		row.TPI[di] = tpi(h.syncEngine(dsName, task, t.syncStep, dev), init)
+		row.TPI[di] = h.tpi(h.syncEngine(dsName, task, t.syncStep, dev), init, dsName)
 	}
 	// Statistical efficiency: one functional convergence drive (identical
 	// across devices by synchronous construction).
@@ -70,6 +70,7 @@ func (h *Harness) table2Row(task, dsName string) Table2Row {
 		Tolerances:    []float64{h.opts.Tol},
 		LossEvery:     5,
 		PlateauEpochs: 400,
+		Rec:           h.recorder(drive.Name(), dsName),
 	})
 	row.Epochs = res.EpochsTo[h.opts.Tol]
 	for di := range row.TTC {

@@ -64,6 +64,7 @@ func (h *Harness) table3Row(task, dsName string) Table3Row {
 				MaxEpochs:     h.opts.MaxEpochs,
 				Tolerances:    []float64{h.opts.Tol},
 				PlateauEpochs: 120,
+				Rec:           h.recorder(e.Name(), dsName),
 			})
 			epochs[rep] = res.EpochsTo[h.opts.Tol]
 			ttcs[rep] = res.SecondsTo[h.opts.Tol]

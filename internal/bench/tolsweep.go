@@ -38,6 +38,7 @@ func (h *Harness) TolSweep() []TolSweepRow {
 					MaxEpochs:     maxEpochs,
 					LossEvery:     lossEvery,
 					PlateauEpochs: 400,
+					Rec:           h.recorder(e.Name(), dsName),
 				})
 				return res.SecondsTo
 			}

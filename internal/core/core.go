@@ -29,9 +29,11 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Engine is one SGD configuration: it advances the model by one optimization
@@ -43,6 +45,21 @@ type Engine interface {
 	// RunEpoch performs one epoch in place on w and returns modeled
 	// seconds of device time.
 	RunEpoch(w []float64) float64
+}
+
+// Instrumented is implemented by engines that can feed an obs.Recorder with
+// per-epoch phase timings and counters.
+type Instrumented interface {
+	// SetRecorder attaches the recorder subsequent epochs report to.
+	SetRecorder(obs.Recorder)
+}
+
+// Instrument attaches r to e if the engine supports instrumentation; other
+// engines (external frameworks) are silently left dark.
+func Instrument(e Engine, r obs.Recorder) {
+	if i, ok := e.(Instrumented); ok {
+		i.SetRecorder(r)
+	}
 }
 
 // Tolerances are the convergence thresholds the paper reports: loss within
@@ -103,6 +120,12 @@ type DriverOpts struct {
 	// tolerances remain unmet — the ∞ outcome without burning the whole
 	// budget (0 = disabled).
 	PlateauEpochs int
+	// Rec, when set, receives the run's observability stream: the driver
+	// attaches it to the engine (phase timings, counters), records the
+	// between-epoch loss evaluations under obs.PhaseLossEval (host
+	// wall-clock, excluded from modeled time per the paper's methodology)
+	// and closes every epoch with its modeled seconds.
+	Rec obs.Recorder
 }
 
 // Threshold returns the loss value that counts as "within tol of the
@@ -153,9 +176,14 @@ func RunToConvergence(e Engine, m model.Model, ds *data.Dataset, w []float64, op
 		res.EpochsTo[tol] = -1
 		res.SecondsTo[tol] = math.Inf(1)
 	}
+	rec := obs.Or(opts.Rec)
+	Instrument(e, rec)
 	initLoss := opts.InitLoss
 	if initLoss == 0 {
+		t0 := time.Now()
 		initLoss = model.MeanLoss(m, w, ds)
+		rec.Phase(obs.PhaseLossEval, time.Since(t0).Seconds())
+		rec.EndEpoch(0) // epoch 0: evaluation only, no modeled engine time
 	}
 	res.Curve = append(res.Curve, LossPoint{Epoch: 0, Seconds: 0, Loss: initLoss})
 	res.FinalLoss = initLoss
@@ -176,12 +204,17 @@ func RunToConvergence(e Engine, m model.Model, ds *data.Dataset, w []float64, op
 	bestLoss := initLoss
 	bestEpoch := 0
 	for epoch := 1; epoch <= maxEpochs && remaining > 0; epoch++ {
-		elapsed += e.RunEpoch(w)
+		epochSec := e.RunEpoch(w)
+		elapsed += epochSec
 		res.Epochs = epoch
 		if epoch%lossEvery != 0 && epoch != maxEpochs {
+			rec.EndEpoch(epochSec)
 			continue
 		}
+		t0 := time.Now()
 		loss := model.MeanLoss(m, w, ds)
+		rec.Phase(obs.PhaseLossEval, time.Since(t0).Seconds())
+		rec.EndEpoch(epochSec)
 		res.FinalLoss = loss
 		res.Curve = append(res.Curve, LossPoint{Epoch: epoch, Seconds: elapsed, Loss: loss})
 		if math.IsNaN(loss) || math.IsInf(loss, 0) {

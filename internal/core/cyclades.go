@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
+	"repro/internal/obs"
 )
 
 // CycladesEngine implements conflict-free asynchronous SGD in the spirit of
@@ -33,6 +34,9 @@ type CycladesEngine struct {
 	Cost *numa.Model
 	// CostScale inflates modeled work to the full dataset (1 = none).
 	CostScale float64
+	// Rec receives phase timings (gradient = conflict-free parallel work,
+	// barrier = per-batch synchronisation) and the batch/update counts.
+	Rec obs.Recorder
 
 	rng     *rand.Rand
 	batches [][]int // conflict-free example batches (computed once)
@@ -179,6 +183,9 @@ func (p *supportProbe) Add(_ []float64, i int, _ float64) {
 // probeParams returns a zero parameter vector for support probing.
 func probeParams(m model.Model) []float64 { return make([]float64, m.NumParams()) }
 
+// SetRecorder implements Instrumented.
+func (e *CycladesEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
 // RunEpoch implements Engine: batches execute in order; inside a batch the
 // updates are conflict-free, so parallel execution is bitwise equal to
 // sequential — we run it sequentially and price it at Threads-way
@@ -193,13 +200,20 @@ func (e *CycladesEngine) RunEpoch(w []float64) float64 {
 			e.Model.SGDStep(w, e.Data, i, e.Step, model.RawUpdater{}, scr)
 		}
 	}
-	return e.epochCost()
+	base, barriers := e.epochCost()
+	rec := obs.Or(e.Rec)
+	rec.Phase(obs.PhaseGradient, base)
+	rec.Phase(obs.PhaseBarrier, barriers)
+	rec.Add(obs.CounterBatches, int64(len(e.batches)))
+	rec.Add(obs.CounterWorkerUpdates, int64(e.Data.N()))
+	return base + barriers
 }
 
 // epochCost prices the epoch: per batch, work parallelises over
 // min(Threads, batch length) threads with no coherence penalty (that is the
-// whole point), plus a per-batch barrier.
-func (e *CycladesEngine) epochCost() float64 {
+// whole point), plus a per-batch barrier; the two parts are returned
+// separately for phase attribution and sum to the epoch seconds.
+func (e *CycladesEngine) epochCost() (base, barriers float64) {
 	scale := e.CostScale
 	if scale <= 0 {
 		scale = 1
@@ -222,10 +236,10 @@ func (e *CycladesEngine) epochCost() float64 {
 	if par < 1 {
 		par = 1
 	}
-	base := e.Cost.StreamTime(ws, int64(bytes), flops, int(par))
+	base = e.Cost.StreamTime(ws, int64(bytes), flops, int(par))
 	// Barrier per batch (threads synchronise): ~2us each at paper scale.
-	barriers := float64(e.stats.Batches) * scale * 2e-6
-	return base + barriers
+	barriers = float64(e.stats.Batches) * scale * 2e-6
+	return base, barriers
 }
 
 var _ Engine = (*CycladesEngine)(nil)

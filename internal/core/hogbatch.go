@@ -10,6 +10,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/numa"
+	"repro/internal/obs"
 )
 
 // HogbatchMode selects the execution flavour of the mini-batch asynchronous
@@ -59,6 +60,10 @@ type HogbatchEngine struct {
 	// serialisation) — the quantity that actually decides that table.
 	// NewHogbatch sets these defaults per mode.
 	PerBatchOverhead float64
+	// Rec receives phase timings (gradient = batch kernels, update = the
+	// Axpy model write, barrier = per-batch dispatch overhead), the batch
+	// count, and per-batch latency observations on the serialised paths.
+	Rec obs.Recorder
 
 	cost     *numa.Model
 	seqBack  linalg.Backend
@@ -116,34 +121,58 @@ func (e *HogbatchEngine) batches() [][2]int {
 	return out
 }
 
+// SetRecorder implements Instrumented.
+func (e *HogbatchEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// scaleFactor is the CostScale multiplier with its default applied.
+func (e *HogbatchEngine) scaleFactor() float64 {
+	if e.CostScale > 0 {
+		return e.CostScale
+	}
+	return 1
+}
+
 // RunEpoch implements Engine.
 func (e *HogbatchEngine) RunEpoch(w []float64) float64 {
-	var sec float64
+	var sec, upd float64
 	switch e.Mode {
 	case HogbatchGPU:
 		if e.gpuBack == nil {
 			e.gpuBack = linalg.NewK80()
 		}
-		sec = e.runSerial(w, e.gpuBack)
+		sec, upd = e.runSerial(w, e.gpuBack)
 	case HogbatchParCPU:
 		sec = e.runParallel(w)
 	default:
 		if e.seqBack == nil {
 			e.seqBack = linalg.NewCPU(1)
 		}
-		sec = e.runSerial(w, e.seqBack)
+		sec, upd = e.runSerial(w, e.seqBack)
 	}
-	sec += float64(len(e.batches())) * e.PerBatchOverhead
-	if e.CostScale > 0 {
-		sec *= e.CostScale
-	}
-	return sec
+	nb := int64(len(e.batches()))
+	overhead := float64(nb) * e.PerBatchOverhead
+	scale := e.scaleFactor()
+	// Phase attribution: batch-gradient kernels are the gradient phase,
+	// the Axpy model write the update phase (zero on the concurrent-CPU
+	// path, whose scattered raw stores are priced inside the parallel
+	// factor), and the per-batch dispatch overhead the barrier. The three
+	// sum exactly to the returned epoch seconds.
+	rec := obs.Or(e.Rec)
+	rec.Phase(obs.PhaseGradient, (sec-upd)*scale)
+	rec.Phase(obs.PhaseUpdate, upd*scale)
+	rec.Phase(obs.PhaseBarrier, overhead*scale)
+	rec.Add(obs.CounterBatches, nb)
+	rec.Add(obs.CounterWorkerUpdates, nb)
+	return (sec + overhead) * scale
 }
 
 // runSerial performs sequential mini-batch SGD on the given backend; the
 // modeled time is the backend meter delta (each batch pays its own kernel
-// launches — the serialisation the paper observes on GPU).
-func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) float64 {
+// launches — the serialisation the paper observes on GPU). The second return
+// is the Axpy (model-update) share of that delta.
+func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) (total, upd float64) {
+	rec := obs.Or(e.Rec)
+	scale := e.scaleFactor()
 	start := b.Meter().Seconds()
 	g := make([]float64, e.Model.NumParams())
 	rows := make([]int, 0, e.Batch)
@@ -152,10 +181,15 @@ func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) float64 {
 		for i := r[0]; i < r[1]; i++ {
 			rows = append(rows, i)
 		}
+		b0 := b.Meter().Seconds()
 		e.Model.BatchGrad(b, w, e.Data, rows, g)
+		u0 := b.Meter().Seconds()
 		b.Axpy(-e.Step, g, w)
+		u1 := b.Meter().Seconds()
+		upd += u1 - u0
+		rec.Observe(obs.MetricBatchSeconds, (u1-b0+e.PerBatchOverhead)*scale)
 	}
-	return b.Meter().Seconds() - start
+	return b.Meter().Seconds() - start, upd
 }
 
 // runParallel runs batches on concurrent workers sharing w: each worker
@@ -221,11 +255,17 @@ func (e *HogbatchEngine) runParallel(w []float64) float64 {
 		}(e.workerBk[p])
 	}
 	wg.Wait()
+	return work / e.parSpeedup()
+}
+
+// parSpeedup is the measured-efficiency parallel factor applied to the
+// single-thread kernel work of the concurrent batch workers.
+func (e *HogbatchEngine) parSpeedup() float64 {
 	speedup := e.ParEfficiency * e.cost.EffectiveCores(e.Threads)
 	if speedup < 1 {
-		speedup = 1
+		return 1
 	}
-	return work / speedup
+	return speedup
 }
 
 // runEmulatedParallel reproduces Threads-way Hogbatch staleness on a host
@@ -262,13 +302,19 @@ func (e *HogbatchEngine) runEmulatedParallel(w []float64, batches [][2]int) floa
 			}
 		}
 	}
+	rec := obs.Or(e.Rec)
+	speedup := e.parSpeedup()
+	scale := e.scaleFactor()
 	for _, r := range batches {
 		rows = rows[:0]
 		for i := r[0]; i < r[1]; i++ {
 			rows = append(rows, i)
 		}
 		g := make([]float64, e.Model.NumParams())
+		b0 := bk.Meter().Seconds()
 		e.Model.BatchGrad(bk, w, e.Data, rows, g)
+		rec.Observe(obs.MetricBatchSeconds,
+			((bk.Meter().Seconds()-b0)/speedup+e.PerBatchOverhead)*scale)
 		queue = append(queue, pending{g})
 		if len(queue) >= depth {
 			apply(queue[0])
@@ -279,10 +325,6 @@ func (e *HogbatchEngine) runEmulatedParallel(w []float64, batches [][2]int) floa
 		apply(p)
 	}
 	work := bk.Meter().Seconds() - start
-	speedup := e.ParEfficiency * e.cost.EffectiveCores(e.Threads)
-	if speedup < 1 {
-		speedup = 1
-	}
 	return work / speedup
 }
 

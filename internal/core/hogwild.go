@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
+	"repro/internal/obs"
 )
 
 // FullScaleStats carries exact full-dataset statistics for the cost model
@@ -52,11 +53,19 @@ type HogwildEngine struct {
 	// working set on the wrong side of a cache boundary — the registry
 	// statistics avoid that.
 	Full *FullScaleStats
+	// Rec receives phase timings (gradient = streaming read+compute,
+	// update = scattered model writes incl. coherence), the per-epoch
+	// update count, each worker's share of the updates, and — when
+	// Updater implements model.RetryCounter — the CAS-retry delta.
+	Rec obs.Recorder
 
-	rng        *rand.Rand
-	perm       []int
-	avgSupport float64
-	epochCost  float64
+	rng         *rand.Rand
+	perm        []int
+	avgSupport  float64
+	epochCost   float64
+	gradCost    float64
+	updCost     float64
+	lastRetries int64
 }
 
 // NewHogwild builds the engine with the paper-machine cost model, raw
@@ -112,8 +121,33 @@ func (e *HogwildEngine) prepare() {
 		support = e.Full.AvgSupport
 		dataBytes = e.Full.DataBytes
 	}
-	e.epochCost = e.Cost.HogwildEpoch(
+	e.gradCost, e.updCost = e.Cost.HogwildEpochParts(
 		e.Model.NumParams(), updates, support, dataBytes, e.Threads)
+	e.epochCost = e.gradCost + e.updCost
+}
+
+// SetRecorder implements Instrumented.
+func (e *HogwildEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// record emits one epoch's phase decomposition, worker shares, and (when the
+// updater counts CAS retries) the contention delta. shares are the fraction
+// of the epoch's updates each worker executed.
+func (e *HogwildEngine) record(shares []float64) {
+	rec := obs.Or(e.Rec)
+	if !obs.Enabled(rec) {
+		return
+	}
+	rec.Phase(obs.PhaseGradient, e.gradCost)
+	rec.Phase(obs.PhaseUpdate, e.updCost)
+	rec.Add(obs.CounterWorkerUpdates, int64(len(e.perm)))
+	for _, s := range shares {
+		rec.Observe(obs.MetricWorkerShare, s)
+	}
+	if rc, ok := e.Updater.(model.RetryCounter); ok {
+		total := rc.Retries()
+		rec.Add(obs.CounterCASRetries, total-e.lastRetries)
+		e.lastRetries = total
+	}
 }
 
 // RunEpoch implements Engine: one pass over a fresh shuffle of the data.
@@ -131,6 +165,7 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 		// emulate it deterministically instead of under-representing
 		// the staleness.
 		e.runEmulated(w, e.Threads)
+		e.record(e.emulatedShares(e.Threads))
 		return e.epochCost
 	}
 	if workers <= 1 {
@@ -138,16 +173,19 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 		for _, i := range e.perm {
 			e.Model.SGDStep(w, e.Data, i, e.Step, e.Updater, scr)
 		}
+		e.record([]float64{1})
 		return e.epochCost
 	}
 	n := len(e.perm)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	var shares []float64
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
+		shares = append(shares, float64(hi-lo)/float64(n))
 		wg.Add(1)
 		go func(part []int) {
 			defer wg.Done()
@@ -158,7 +196,27 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 		}(e.perm[lo:hi])
 	}
 	wg.Wait()
+	e.record(shares)
 	return e.epochCost
+}
+
+// emulatedShares reproduces the chunk split of runEmulated so the recorded
+// worker shares match the logical threads that actually executed.
+func (e *HogwildEngine) emulatedShares(p int) []float64 {
+	n := len(e.perm)
+	if p > n {
+		p = n
+	}
+	chunk := (n + p - 1) / p
+	shares := make([]float64, 0, p)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		shares = append(shares, float64(hi-lo)/float64(n))
+	}
+	return shares
 }
 
 // runEmulated executes one epoch with P logical threads interleaved

@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/gpusim"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // GPUHogwildEngine is the asynchronous SGD kernel on the simulated GPU:
@@ -37,6 +38,11 @@ type GPUHogwildEngine struct {
 	// gpusim.AsyncConfig.WarpPerExample): no intra-warp conflicts or
 	// divergence, 32x fewer concurrent examples.
 	WarpPerExample bool
+	// Rec receives phase timings (barrier = kernel-launch overhead,
+	// update = the write share of the roofline time, gradient = the rest),
+	// the simulator's conflict/coalescing counters, and the divergent-warp
+	// fraction.
+	Rec obs.Recorder
 
 	rng   *rand.Rand
 	perm  []int
@@ -81,6 +87,47 @@ func (e *GPUHogwildEngine) SetShuffleSeed(seed int64) {
 
 // LastStats returns the conflict statistics of the most recent epoch.
 func (e *GPUHogwildEngine) LastStats() gpusim.AsyncStats { return e.stats }
+
+// SetRecorder implements Instrumented.
+func (e *GPUHogwildEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// record surfaces one epoch's AsyncStats through the recorder. The phase
+// split attributes the kernel-launch overhead to the barrier phase and
+// divides the roofline kernel time between update (the model-write share of
+// the global traffic) and gradient (everything else); the three sum exactly
+// to Cost.Seconds.
+func (e *GPUHogwildEngine) record(st gpusim.AsyncStats) {
+	rec := obs.Or(e.Rec)
+	if !obs.Enabled(rec) {
+		return
+	}
+	barrier := float64(st.Cost.Launches) * e.Dev.Spec.KernelLaunchNS * 1e-9
+	kernel := st.Cost.Seconds - barrier
+	if kernel < 0 {
+		kernel = 0
+	}
+	var update float64
+	if st.Cost.Bytes > 0 {
+		update = kernel * st.Cost.WriteBytes / st.Cost.Bytes
+	}
+	rec.Phase(obs.PhaseGradient, kernel-update)
+	rec.Phase(obs.PhaseUpdate, update)
+	rec.Phase(obs.PhaseBarrier, barrier)
+	rec.Add(obs.CounterGPUUpdates, st.Updates)
+	rec.Add(obs.CounterGPULostIntra, st.LostIntra)
+	rec.Add(obs.CounterGPULostInter, st.LostInter)
+	rec.Add(obs.CounterGPUApplied, st.Applied)
+	rec.Add(obs.CounterGPURounds, st.Rounds)
+	rec.Add(obs.CounterGPUTransactions, st.Cost.Transactions)
+	// Each emitted component update implies one model-read and one
+	// model-write request; perfectly coalesced they would need
+	// requests*8/TransactionBytes transactions, so the ratio of issued
+	// transactions to this baseline is the coalescing factor.
+	rec.Add(obs.CounterGPURequests, 2*st.Updates)
+	if st.Cost.LockstepOps > 0 {
+		rec.Observe(obs.MetricDivergentWarpFrac, 1-st.Cost.Flops/st.Cost.LockstepOps)
+	}
+}
 
 // captureUpdater records SGDStep's component updates instead of applying
 // them, so the simulator controls which writes land.
@@ -145,6 +192,7 @@ func (e *GPUHogwildEngine) RunEpoch(w []float64) float64 {
 	if e.CostScale > 0 && e.CostScale != 1 {
 		e.stats.Cost = e.Dev.Rescale(e.stats.Cost, e.CostScale)
 	}
+	e.record(e.stats)
 	return e.stats.Cost.Seconds
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +29,10 @@ type ReplicatedHogwildEngine struct {
 	Cost *numa.Model
 	// CostScale inflates modeled work to the full dataset (1 = none).
 	CostScale float64
+	// Rec receives phase timings: gradient = the slowest replica's Hogwild
+	// pass, update = the replica-averaging reduction. The inner engines are
+	// deliberately left dark to avoid double-counting their phases.
+	Rec obs.Recorder
 
 	inner []*HogwildEngine
 	reps  [][]float64
@@ -103,7 +108,14 @@ func (e *ReplicatedHogwildEngine) RunEpoch(w []float64) float64 {
 	// Averaging itself is a cheap parallel reduction.
 	avgCost := e.Cost.StreamTime(int64(len(w)*8), int64(len(w))*8*int64(len(e.inner)+1),
 		float64(len(w)*len(e.inner)), e.Replicas*e.ThreadsPerReplica)
+	rec := obs.Or(e.Rec)
+	rec.Phase(obs.PhaseGradient, worst)
+	rec.Phase(obs.PhaseUpdate, avgCost)
+	rec.Add(obs.CounterWorkerUpdates, int64(e.Data.N()))
 	return worst + avgCost
 }
+
+// SetRecorder implements Instrumented.
+func (e *ReplicatedHogwildEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
 
 var _ Engine = (*ReplicatedHogwildEngine)(nil)

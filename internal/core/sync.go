@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // SyncEngine is synchronous SGD (the paper's Algorithm 2): the gradient is
@@ -34,6 +35,9 @@ type SyncEngine struct {
 	// sequential and ~6ms parallel components across all five datasets;
 	// ~4ms on GPU). It models library temporaries/dispatch, not compute.
 	EpochOverhead float64
+	// Rec receives phase timings (gradient = batch-gradient kernels,
+	// update = Axpy, barrier = EpochOverhead) and the batch count.
+	Rec obs.Recorder
 
 	grad []float64
 	rows []int
@@ -47,6 +51,9 @@ func NewSync(b linalg.Backend, m model.BatchModel, ds *data.Dataset, step float6
 // Name implements Engine.
 func (e *SyncEngine) Name() string { return "sync/" + e.Backend.Name() }
 
+// SetRecorder implements Instrumented.
+func (e *SyncEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
 // RunEpoch implements Engine.
 func (e *SyncEngine) RunEpoch(w []float64) float64 {
 	if len(w) != e.Model.NumParams() {
@@ -55,12 +62,22 @@ func (e *SyncEngine) RunEpoch(w []float64) float64 {
 	if e.grad == nil {
 		e.grad = make([]float64, e.Model.NumParams())
 	}
-	start := e.Backend.Meter().Seconds()
+	rec := obs.Or(e.Rec)
+	meter := e.Backend.Meter()
+	start := meter.Seconds()
+	var updSec float64
+	var batches int64
+	step := func(rows []int) {
+		e.Model.BatchGrad(e.Backend, w, e.Data, rows, e.grad)
+		u0 := meter.Seconds()
+		e.Backend.Axpy(-e.Step, e.grad, w)
+		updSec += meter.Seconds() - u0
+		batches++
+	}
 	n := e.Data.N()
 	batch := e.Batch
 	if batch <= 0 || batch >= n {
-		e.Model.BatchGrad(e.Backend, w, e.Data, nil, e.grad)
-		e.Backend.Axpy(-e.Step, e.grad, w)
+		step(nil)
 	} else {
 		if e.rows == nil {
 			e.rows = make([]int, 0, batch)
@@ -74,15 +91,24 @@ func (e *SyncEngine) RunEpoch(w []float64) float64 {
 			for i := lo; i < hi; i++ {
 				e.rows = append(e.rows, i)
 			}
-			e.Model.BatchGrad(e.Backend, w, e.Data, e.rows, e.grad)
-			e.Backend.Axpy(-e.Step, e.grad, w)
+			step(e.rows)
 		}
 	}
-	sec := e.Backend.Meter().Seconds() - start
+	sec := meter.Seconds() - start
+	scale := 1.0
 	if e.CostScale > 0 {
-		sec *= e.CostScale
+		scale = e.CostScale
 	}
-	return sec + e.EpochOverhead
+	// Phase attribution: batch-gradient kernels are the gradient phase,
+	// the Axpy model write is the update phase, and the per-epoch
+	// primitive-management overhead is the synchronisation/dispatch
+	// barrier. The three sum exactly to the returned epoch seconds.
+	rec.Phase(obs.PhaseGradient, (sec-updSec)*scale)
+	rec.Phase(obs.PhaseUpdate, updSec*scale)
+	rec.Phase(obs.PhaseBarrier, e.EpochOverhead)
+	rec.Add(obs.CounterBatches, batches)
+	rec.Add(obs.CounterWorkerUpdates, batches)
+	return sec*scale + e.EpochOverhead
 }
 
 var _ Engine = (*SyncEngine)(nil)

@@ -55,6 +55,7 @@ type Cost struct {
 	Flops        float64 // useful floating point operations
 	LockstepOps  float64 // lane-slots issued including divergence waste
 	Bytes        float64 // global-memory traffic implied by the transactions
+	WriteBytes   float64 // the model-write share of Bytes (update-phase attribution)
 	Transactions int64   // 32-byte global memory transactions
 	Launches     int64   // kernel launches (fixed overhead each)
 }
@@ -65,6 +66,7 @@ func (c *Cost) Add(o Cost) {
 	c.Flops += o.Flops
 	c.LockstepOps += o.LockstepOps
 	c.Bytes += o.Bytes
+	c.WriteBytes += o.WriteBytes
 	c.Transactions += o.Transactions
 	c.Launches += o.Launches
 }
@@ -97,6 +99,7 @@ func (d *Device) Rescale(c Cost, f float64) Cost {
 		Flops:        c.Flops * f,
 		LockstepOps:  c.LockstepOps * f,
 		Bytes:        c.Bytes * f,
+		WriteBytes:   c.WriteBytes * f,
 		Transactions: int64(float64(c.Transactions) * f),
 		Launches:     c.Launches,
 	})

@@ -188,8 +188,11 @@ func (d *Device) RunAsyncEpoch(items []int, cfg AsyncConfig, lane LaneFunc, appl
 			cost.Transactions += tr.Transactions
 			// Scattered read-modify-write traffic replays and
 			// write-allocates: it sustains roughly a third of the
-			// streaming bandwidth, so count it threefold.
+			// streaming bandwidth, so count it threefold. Reads and
+			// writes touch the same addresses, so half of it is the
+			// write share.
 			cost.Bytes += tr.Bytes * 3
+			cost.WriteBytes += tr.Bytes * 3 / 2
 			cost.Bytes += float64(emitted) * 12 // CSR value + column index stream
 		}
 		if !anyWork {
@@ -272,6 +275,8 @@ func (d *Device) runWarpPerExample(items []int, cfg AsyncConfig, lane LaneFunc, 
 			tx := Transactions(idxBuf, 8, d.Spec.TransactionBytes) * 2
 			cost.Transactions += tx
 			cost.Bytes += float64(tx)*float64(d.Spec.TransactionBytes)*3 + float64(len(idxBuf))*12
+			// Half the doubled transaction traffic is the write pass.
+			cost.WriteBytes += float64(tx) / 2 * float64(d.Spec.TransactionBytes) * 3
 		}
 		if !anyWork {
 			break

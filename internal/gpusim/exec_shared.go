@@ -61,8 +61,9 @@ func (d *Device) RunAsyncEpochShared(nParams int, items []int, cfg AsyncConfig, 
 	var cost Cost
 	cost.Launches = 1
 	// Initial replica load + final flush are the only global model
-	// traffic: coalesced streams.
+	// traffic: coalesced streams (the flush is the write half).
 	cost.Bytes += float64(blocks) * float64(nParams) * 8 * 2
+	cost.WriteBytes += float64(blocks) * float64(nParams) * 8
 
 	for round := 0; round < chunk; round++ {
 		anyWork := false

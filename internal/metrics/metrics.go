@@ -54,7 +54,11 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Min, s.Max = math.NaN(), math.NaN()
 		if s.InfCount > 0 {
+			// Every measurement was ∞ (no run converged): report the
+			// extrema as +Inf too, consistent with the Mean, instead of
+			// the empty-set NaN sentinels.
 			s.Mean = math.Inf(1)
+			s.Min, s.Max = math.Inf(1), math.Inf(1)
 		}
 	}
 	return s
@@ -93,6 +97,11 @@ func Downsample(curve []core.LossPoint, k int) []core.LossPoint {
 	if k <= 0 || len(curve) <= k {
 		return curve
 	}
+	if k == 1 {
+		// A single point cannot keep both endpoints; keep the last (the
+		// converged loss), and avoid the k-1 division below.
+		return []core.LossPoint{curve[len(curve)-1]}
+	}
 	out := make([]core.LossPoint, 0, k)
 	step := float64(len(curve)-1) / float64(k-1)
 	prev := -1
@@ -114,6 +123,11 @@ func AUCTime(curve []core.LossPoint) float64 {
 	var auc float64
 	for i := 1; i < len(curve); i++ {
 		dt := curve[i].Seconds - curve[i-1].Seconds
+		if dt <= 0 {
+			// Non-monotonic timestamps (merged or malformed curves)
+			// must not subtract area.
+			continue
+		}
 		auc += dt * (curve[i].Loss + curve[i-1].Loss) / 2
 	}
 	return auc

@@ -33,6 +33,16 @@ func TestSummarizeHandlesInf(t *testing.T) {
 	if all.N != 0 || all.InfCount != 2 || !math.IsInf(all.Mean, 1) {
 		t.Fatalf("%+v", all)
 	}
+	// All-∞ input: the extrema must agree with the Mean instead of
+	// reporting the empty-set NaN sentinels.
+	if !math.IsInf(all.Min, 1) || !math.IsInf(all.Max, 1) {
+		t.Fatalf("all-inf min/max = %v/%v, want +Inf", all.Min, all.Max)
+	}
+	// Genuinely empty input still reports NaN extrema.
+	empty := Summarize(nil)
+	if !math.IsNaN(empty.Min) || !math.IsNaN(empty.Max) || empty.Mean != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
 }
 
 func TestSummarizeIgnoresNaN(t *testing.T) {
@@ -81,6 +91,36 @@ func TestDownsampleKeepsEndpoints(t *testing.T) {
 	}
 }
 
+func TestDownsampleEdgeCases(t *testing.T) {
+	curve := make([]core.LossPoint, 10)
+	for i := range curve {
+		curve[i] = core.LossPoint{Epoch: i, Seconds: float64(i), Loss: float64(10 - i)}
+	}
+	// k == 1 keeps the last point (the converged loss) instead of dividing
+	// by k-1.
+	one := Downsample(curve, 1)
+	if len(one) != 1 || one[0].Epoch != 9 {
+		t.Fatalf("k=1: %+v", one)
+	}
+	// k >= len passes the curve through untouched.
+	if got := Downsample(curve, len(curve)); len(got) != len(curve) {
+		t.Fatalf("k=len returned %d points", len(got))
+	}
+	if got := Downsample(curve, 1000); len(got) != len(curve) {
+		t.Fatalf("k>len returned %d points", len(got))
+	}
+	// k <= 0 means no downsampling.
+	if got := Downsample(curve, 0); len(got) != len(curve) {
+		t.Fatalf("k=0 returned %d points", len(got))
+	}
+	// Empty curves survive every k.
+	for _, k := range []int{0, 1, 2} {
+		if got := Downsample(nil, k); len(got) != 0 {
+			t.Fatalf("nil curve, k=%d: %d points", k, len(got))
+		}
+	}
+}
+
 func TestDownsampleMonotoneProperty(t *testing.T) {
 	f := func(nRaw uint8, kRaw uint8) bool {
 		n := int(nRaw)%200 + 2
@@ -117,5 +157,24 @@ func TestAUCTime(t *testing.T) {
 	}
 	if AUCTime(nil) != 0 {
 		t.Fatal("empty AUC")
+	}
+}
+
+func TestAUCTimeNonMonotonicSeconds(t *testing.T) {
+	// A backwards time step (merged or malformed curves) contributes
+	// nothing instead of subtracting area.
+	curve := []core.LossPoint{
+		{Seconds: 0, Loss: 2},
+		{Seconds: 1, Loss: 1}, // +1.5
+		{Seconds: 0.5, Loss: 4},
+		{Seconds: 1.5, Loss: 2}, // +3
+	}
+	if got := AUCTime(curve); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("AUC = %v, want 4.5", got)
+	}
+	// Zero-width steps (duplicate timestamps) also contribute nothing.
+	flat := []core.LossPoint{{Seconds: 1, Loss: 5}, {Seconds: 1, Loss: 7}}
+	if got := AUCTime(flat); got != 0 {
+		t.Fatalf("duplicate-timestamp AUC = %v", got)
 	}
 }

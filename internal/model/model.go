@@ -59,6 +59,38 @@ func (AtomicUpdater) Add(w []float64, i int, delta float64) {
 	}
 }
 
+// RetryCounter is implemented by updaters that count failed CAS attempts;
+// the observability layer reads it to surface contention (each retry is one
+// update the raw discipline would have lost to a concurrent writer).
+type RetryCounter interface {
+	// Retries returns the cumulative failed-CAS count.
+	Retries() int64
+}
+
+// CountingAtomicUpdater is AtomicUpdater with CAS-retry accounting. Use one
+// instance per engine; the counter is cumulative across epochs and the
+// engine reports per-epoch deltas.
+type CountingAtomicUpdater struct {
+	retries atomic.Int64
+}
+
+// Add implements Updater with a compare-and-swap retry loop, counting every
+// failed attempt.
+func (u *CountingAtomicUpdater) Add(w []float64, i int, delta float64) {
+	p := (*uint64)(unsafe.Pointer(&w[i]))
+	for {
+		oldBits := atomic.LoadUint64(p)
+		newVal := float64frombits(oldBits) + delta
+		if atomic.CompareAndSwapUint64(p, oldBits, float64bits(newVal)) {
+			return
+		}
+		u.retries.Add(1)
+	}
+}
+
+// Retries implements RetryCounter.
+func (u *CountingAtomicUpdater) Retries() int64 { return u.retries.Load() }
+
 func float64bits(f float64) uint64     { return *(*uint64)(unsafe.Pointer(&f)) }
 func float64frombits(b uint64) float64 { return *(*float64)(unsafe.Pointer(&b)) }
 

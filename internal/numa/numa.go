@@ -187,13 +187,32 @@ func (m *Model) ParallelSpeedup(workingSet, bytes int64, flops float64, threads 
 // Hogwild slow down with threads while sparse Hogwild scales (paper Table
 // III).
 func (m *Model) HogwildEpoch(dim int, updates int64, avgSupport float64, dataBytes int64, threads int) float64 {
+	gradient, update := m.HogwildEpochParts(dim, updates, avgSupport, dataBytes, threads)
+	return gradient + update
+}
+
+// HogwildEpochParts decomposes HogwildEpoch into its gradient-compute part
+// (example streaming, model gather, dot-product arithmetic) and its update
+// part (scattered model writes plus, beyond one thread, the cache-coherence
+// penalty). The parts sum exactly to HogwildEpoch; the observability layer
+// reports them as the engine's gradient/update phases.
+func (m *Model) HogwildEpochParts(dim int, updates int64, avgSupport float64, dataBytes int64, threads int) (gradient, update float64) {
 	s := m.Spec
 	flops := float64(updates) * avgSupport * 4 // dot mul-add + update mul-add
 	modelBytes := float64(updates) * avgSupport * 8 * 2
 	workingSet := dataBytes + int64(dim*8)
 	base := m.StreamTime(workingSet, dataBytes+int64(modelBytes), flops, threads)
+	// The gradient share carries the example stream, the model-read half of
+	// the scattered traffic and the dot-product half of the arithmetic;
+	// StreamTime is monotone in bytes and flops, so grad <= base and the
+	// write share is the remainder.
+	gradient = m.StreamTime(workingSet, dataBytes+int64(modelBytes/2), flops/2, threads)
+	if gradient > base {
+		gradient = base
+	}
+	update = base - gradient
 	if threads <= 1 {
-		return base
+		return gradient, update
 	}
 	// Coherence: an update dirties ceil(support/8)-ish cache lines spread
 	// over the dim/8 lines of the model. While it is in flight, the other
@@ -211,7 +230,7 @@ func (m *Model) HogwildEpoch(dim int, updates int64, avgSupport float64, dataByt
 	// the requesting core's other work (calibration constant).
 	const serialization = 0.5
 	penalty := float64(updates) * linesPerUpdate * pConflict * invalidationCost * serialization
-	return base + penalty
+	return gradient, update + penalty
 }
 
 // HogwildSpeedup returns sequential/parallel modeled time for a Hogwild

@@ -1,0 +1,298 @@
+// Package obs is the engine-level observability layer of the reproduction.
+// The paper's whole contribution is decomposing time-to-convergence into
+// hardware and statistical efficiency; this package exposes the *why* behind
+// each configuration's numbers: per-epoch phase timings (gradient compute,
+// model update, synchronisation, loss evaluation), typed counters for the
+// racy behaviour that drives the Hogwild findings (worker update counts, CAS
+// retries, SIMT lost updates, coalesced memory transactions), and sampled
+// distributions (batch latencies, divergent-warp fractions).
+//
+// The design constraint is that uninstrumented runs pay ~zero cost: every
+// Recorder method takes only scalar arguments, so the no-op implementation
+// (Nop) compiles to empty calls with no allocation — asserted by a benchmark
+// in the test suite. Engines hold a Recorder that defaults to Nop via Or.
+//
+// Sinks:
+//
+//   - TraceWriter streams one JSONL event per epoch (see Event for the
+//     schema); cmd/sgdtrace re-reads and summarises such files.
+//   - Aggregator keeps in-memory totals per (engine, dataset) run and
+//     renders a Prometheus-style text snapshot and per-engine summary
+//     tables.
+//   - Tee fans one recorder stream out to several sinks.
+//
+// Loss evaluation is recorded under PhaseLossEval but is *excluded* from the
+// modeled epoch seconds, following the paper's methodology: the phase-sum
+// consistency check in cmd/sgdtrace compares gradient+update+barrier against
+// the reported epoch time.
+package obs
+
+// Phase identifies one timed section of an engine epoch. Engines attribute
+// their modeled epoch seconds to PhaseGradient, PhaseUpdate and PhaseBarrier
+// such that the three sum to the value RunEpoch returns; PhaseLossEval is
+// host wall-clock time spent by the convergence driver between epochs and is
+// excluded from iteration timing.
+type Phase uint8
+
+// The phase taxonomy (see DESIGN.md §"Phase taxonomy").
+const (
+	// PhaseGradient is gradient computation: example streaming, model
+	// gather, dot products / forward-backward passes.
+	PhaseGradient Phase = iota
+	// PhaseUpdate is landing updates in the model: scattered writes,
+	// cache-coherence penalties, Axpy kernels, replica averaging.
+	PhaseUpdate
+	// PhaseBarrier is synchronisation and dispatch: per-epoch primitive
+	// management of the synchronous engines, per-batch dispatch overhead,
+	// kernel launches, Cyclades batch barriers.
+	PhaseBarrier
+	// PhaseLossEval is the between-epoch loss evaluation (excluded from
+	// modeled time per the paper's methodology).
+	PhaseLossEval
+	numPhases
+)
+
+// String names the phase as it appears in traces and metric labels.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGradient:
+		return "gradient"
+	case PhaseUpdate:
+		return "update"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseLossEval:
+		return "loss_eval"
+	}
+	return "unknown"
+}
+
+// phaseFromString inverts String; second result is false for unknown names.
+func phaseFromString(s string) (Phase, bool) {
+	for p := Phase(0); p < numPhases; p++ {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Counter is a typed monotonic counter an engine increments during an epoch.
+type Counter uint8
+
+// The counter taxonomy.
+const (
+	// CounterWorkerUpdates counts model updates performed by the engine's
+	// workers (examples for Hogwild, mini-batch applications for
+	// Hogbatch).
+	CounterWorkerUpdates Counter = iota
+	// CounterCASRetries counts failed compare-and-swap attempts of the
+	// lock-free atomic updater (model.CountingAtomicUpdater) — each retry
+	// is one update the raw Hogwild discipline would have lost.
+	CounterCASRetries
+	// CounterBatches counts mini-batches (or linear-algebra batches)
+	// executed in the epoch.
+	CounterBatches
+	// CounterGPUUpdates counts component updates emitted by SIMT lanes.
+	CounterGPUUpdates
+	// CounterGPULostIntra counts updates lost to intra-warp write
+	// conflicts (last lane wins).
+	CounterGPULostIntra
+	// CounterGPULostInter counts updates lost to inter-warp write
+	// conflicts within a lockstep round (last warp wins).
+	CounterGPULostInter
+	// CounterGPUApplied counts component updates that landed in the model.
+	CounterGPUApplied
+	// CounterGPURounds counts warp-lockstep rounds executed.
+	CounterGPURounds
+	// CounterGPUTransactions counts 32-byte global-memory transactions
+	// issued after coalescing.
+	CounterGPUTransactions
+	// CounterGPURequests counts lane memory requests before coalescing
+	// (the coalescing ratio is requests/transactions).
+	CounterGPURequests
+	numCounters
+)
+
+// String names the counter as it appears in traces and metric labels.
+func (c Counter) String() string {
+	switch c {
+	case CounterWorkerUpdates:
+		return "worker_updates"
+	case CounterCASRetries:
+		return "cas_retries"
+	case CounterBatches:
+		return "batches"
+	case CounterGPUUpdates:
+		return "gpu_updates"
+	case CounterGPULostIntra:
+		return "gpu_lost_intra"
+	case CounterGPULostInter:
+		return "gpu_lost_inter"
+	case CounterGPUApplied:
+		return "gpu_applied"
+	case CounterGPURounds:
+		return "gpu_rounds"
+	case CounterGPUTransactions:
+		return "gpu_transactions"
+	case CounterGPURequests:
+		return "gpu_requests"
+	}
+	return "unknown"
+}
+
+func counterFromString(s string) (Counter, bool) {
+	for c := Counter(0); c < numCounters; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Metric is a sampled value tracked as a distribution (count/sum/min/max).
+type Metric uint8
+
+// The observation taxonomy.
+const (
+	// MetricBatchSeconds is the modeled latency of one mini-batch
+	// (Hogbatch).
+	MetricBatchSeconds Metric = iota
+	// MetricDivergentWarpFrac is the fraction of issued lane slots wasted
+	// to warp divergence in one epoch: 1 - useful flops / lockstep ops.
+	MetricDivergentWarpFrac
+	// MetricWorkerShare is the per-worker share of an epoch's updates
+	// (Hogwild work balance).
+	MetricWorkerShare
+	numMetrics
+)
+
+// String names the metric as it appears in traces and metric labels.
+func (m Metric) String() string {
+	switch m {
+	case MetricBatchSeconds:
+		return "batch_seconds"
+	case MetricDivergentWarpFrac:
+		return "divergent_warp_frac"
+	case MetricWorkerShare:
+		return "worker_share"
+	}
+	return "unknown"
+}
+
+func metricFromString(s string) (Metric, bool) {
+	for m := Metric(0); m < numMetrics; m++ {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Recorder receives one engine run's instrumentation stream. Engines call
+// Phase/Add/Observe while executing an epoch; whoever drives the engine (the
+// convergence driver or the harness) closes each epoch with EndEpoch, which
+// carries the engine's reported modeled seconds for that epoch.
+//
+// All methods take scalar arguments only, so the no-op path allocates
+// nothing. Implementations must be safe for concurrent use; engines
+// nevertheless aggregate per-worker data locally and record once per epoch
+// to keep hot loops clean.
+type Recorder interface {
+	// Phase attributes modeled (or, for PhaseLossEval, wall-clock) seconds
+	// to a phase of the current epoch.
+	Phase(p Phase, seconds float64)
+	// Add increments a typed counter for the current epoch.
+	Add(c Counter, delta int64)
+	// Observe records one sample of a distribution metric.
+	Observe(m Metric, v float64)
+	// EndEpoch closes the current epoch, recording the engine's reported
+	// modeled seconds for it.
+	EndEpoch(modeledSeconds float64)
+}
+
+// Nop is the zero-cost default Recorder: every method is an empty body.
+type Nop struct{}
+
+// Phase implements Recorder.
+func (Nop) Phase(Phase, float64) {}
+
+// Add implements Recorder.
+func (Nop) Add(Counter, int64) {}
+
+// Observe implements Recorder.
+func (Nop) Observe(Metric, float64) {}
+
+// EndEpoch implements Recorder.
+func (Nop) EndEpoch(float64) {}
+
+// Or returns r, or Nop when r is nil, so callers can invoke methods
+// unconditionally.
+func Or(r Recorder) Recorder {
+	if r == nil {
+		return Nop{}
+	}
+	return r
+}
+
+// Enabled reports whether r actually records anything; engines use it to
+// skip instrumentation work that is not scalar-cheap.
+func Enabled(r Recorder) bool {
+	if r == nil {
+		return false
+	}
+	if _, nop := r.(Nop); nop {
+		return false
+	}
+	return true
+}
+
+// tee fans a recorder stream out to several sinks.
+type tee struct{ rs []Recorder }
+
+// Tee returns a Recorder forwarding every call to each enabled recorder in
+// rs; nil and Nop entries are dropped, and degenerate cases collapse (no
+// sinks -> Nop, one sink -> that sink).
+func Tee(rs ...Recorder) Recorder {
+	live := make([]Recorder, 0, len(rs))
+	for _, r := range rs {
+		if Enabled(r) {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop{}
+	case 1:
+		return live[0]
+	}
+	return &tee{rs: live}
+}
+
+// Phase implements Recorder.
+func (t *tee) Phase(p Phase, seconds float64) {
+	for _, r := range t.rs {
+		r.Phase(p, seconds)
+	}
+}
+
+// Add implements Recorder.
+func (t *tee) Add(c Counter, delta int64) {
+	for _, r := range t.rs {
+		r.Add(c, delta)
+	}
+}
+
+// Observe implements Recorder.
+func (t *tee) Observe(m Metric, v float64) {
+	for _, r := range t.rs {
+		r.Observe(m, v)
+	}
+}
+
+// EndEpoch implements Recorder.
+func (t *tee) EndEpoch(sec float64) {
+	for _, r := range t.rs {
+		r.EndEpoch(sec)
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Dist summarises the samples of one distribution metric within an epoch.
+type Dist struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// observe folds one sample into the distribution.
+func (d *Dist) observe(v float64) {
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+}
+
+// merge folds another distribution into d.
+func (d *Dist) merge(o Dist) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if d.Count == 0 || o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+}
+
+// Mean returns the sample mean (0 for an empty distribution).
+func (d Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// Event is the JSONL trace schema: one object per (engine, dataset, epoch).
+// Seconds is the engine's reported modeled epoch time; the phase map holds
+// seconds per phase (gradient+update+barrier sum to Seconds, loss_eval is
+// excluded); counters and observations carry the epoch's typed counters and
+// sampled distributions. Maps omit empty sections to keep traces compact.
+type Event struct {
+	Engine       string             `json:"engine"`
+	Dataset      string             `json:"dataset"`
+	Epoch        int                `json:"epoch"`
+	Seconds      float64            `json:"seconds"`
+	Phases       map[string]float64 `json:"phases,omitempty"`
+	Counters     map[string]int64   `json:"counters,omitempty"`
+	Observations map[string]Dist    `json:"observations,omitempty"`
+}
+
+// TraceWriter streams epoch events as JSON Lines. It is safe for concurrent
+// use by the scoped recorders of several runs.
+type TraceWriter struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	cl  io.Closer
+	err error
+}
+
+// NewTraceWriter wraps an io.Writer as a trace sink.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{buf: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.cl = c
+	}
+	return t
+}
+
+// CreateTrace creates (truncating) a trace file at path.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace: %w", err)
+	}
+	return NewTraceWriter(f), nil
+}
+
+// Run returns a Recorder scoped to one (engine, dataset) drive; its epochs
+// are numbered from 0 in EndEpoch order.
+func (t *TraceWriter) Run(engine, dataset string) Recorder {
+	if t == nil {
+		return Nop{}
+	}
+	return &runRecorder{sink: t.write, engine: engine, dataset: dataset}
+}
+
+// write emits one event line.
+func (t *TraceWriter) write(ev *Event) {
+	line, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.buf.Write(append(line, '\n')); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Close flushes buffered events and closes the underlying file, reporting
+// the first write error encountered.
+func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.buf.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.cl != nil {
+		if err := t.cl.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.cl = nil
+	}
+	return t.err
+}
+
+// runRecorder accumulates one epoch of one run and hands finished events to
+// a sink. All methods lock: recording is coarse (a handful of calls per
+// epoch), so contention is negligible.
+type runRecorder struct {
+	sink    func(*Event)
+	engine  string
+	dataset string
+
+	mu      sync.Mutex
+	epoch   int
+	dirty   bool
+	phases  [numPhases]float64
+	counts  [numCounters]int64
+	obs     [numMetrics]Dist
+	hasObs  [numMetrics]bool
+	seconds float64
+}
+
+// Phase implements Recorder.
+func (r *runRecorder) Phase(p Phase, seconds float64) {
+	if p >= numPhases {
+		return
+	}
+	r.mu.Lock()
+	r.phases[p] += seconds
+	r.dirty = true
+	r.mu.Unlock()
+}
+
+// Add implements Recorder.
+func (r *runRecorder) Add(c Counter, delta int64) {
+	if c >= numCounters {
+		return
+	}
+	r.mu.Lock()
+	r.counts[c] += delta
+	r.dirty = true
+	r.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (r *runRecorder) Observe(m Metric, v float64) {
+	if m >= numMetrics {
+		return
+	}
+	r.mu.Lock()
+	r.obs[m].observe(v)
+	r.hasObs[m] = true
+	r.dirty = true
+	r.mu.Unlock()
+}
+
+// EndEpoch implements Recorder: it flushes the epoch's event to the sink and
+// resets the buckets for the next epoch. Epochs with no recorded data and
+// zero seconds are skipped.
+func (r *runRecorder) EndEpoch(modeledSeconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.dirty && modeledSeconds == 0 {
+		return
+	}
+	ev := &Event{
+		Engine:  r.engine,
+		Dataset: r.dataset,
+		Epoch:   r.epoch,
+		Seconds: modeledSeconds,
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if r.phases[p] != 0 {
+			if ev.Phases == nil {
+				ev.Phases = make(map[string]float64, int(numPhases))
+			}
+			ev.Phases[p.String()] = r.phases[p]
+		}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if r.counts[c] != 0 {
+			if ev.Counters == nil {
+				ev.Counters = make(map[string]int64, int(numCounters))
+			}
+			ev.Counters[c.String()] = r.counts[c]
+		}
+	}
+	for m := Metric(0); m < numMetrics; m++ {
+		if r.hasObs[m] {
+			if ev.Observations == nil {
+				ev.Observations = make(map[string]Dist, int(numMetrics))
+			}
+			ev.Observations[m.String()] = r.obs[m]
+		}
+	}
+	r.sink(ev)
+	r.epoch++
+	r.dirty = false
+	r.phases = [numPhases]float64{}
+	r.counts = [numCounters]int64{}
+	r.obs = [numMetrics]Dist{}
+	r.hasObs = [numMetrics]bool{}
+	r.seconds = 0
+}
+
+// ReadTrace parses a JSONL trace stream. Blank lines are skipped; a
+// malformed line aborts with an error naming its line number.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: trace read: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTraceFile parses a JSONL trace file.
+func ReadTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
