@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-paper
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/obs
 
-# bench regenerates the paper's tables at a small scale with a trace.
+# bench measures the host-side epoch engineering (pool vs spawn dispatch,
+# nnz-balanced vs even sparse partitioning, steady-state allocation proofs)
+# and writes BENCH_epoch.json. Pass BENCH_FLAGS=-short for the CI-sized run.
 bench:
+	$(GO) run ./cmd/epochbench $(BENCH_FLAGS) -out BENCH_epoch.json
+
+# bench-paper regenerates the paper's tables at a small scale with a trace.
+bench-paper:
 	$(GO) run ./cmd/sgdbench -experiment table2,table3 -maxn 1000 -trace run.jsonl -obs

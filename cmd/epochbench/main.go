@@ -1,0 +1,382 @@
+// Command epochbench measures the host-side performance engineering of the
+// epoch path and writes the results to a JSON file (BENCH_epoch.json):
+//
+//   - persistent worker pool vs per-call goroutine spawning on an epoch of
+//     small kernels (the dispatch regime of mini-batch SGD);
+//   - nnz-balanced vs even row partitioning for SpMV/SpMVT on a
+//     heavy-tailed matrix — wall clock plus the critical-path nnz skew that
+//     decides scaling on a many-core machine;
+//   - steady-state allocation counts of the LR/SVM mini-batch gradient and
+//     the pooled SpMVT;
+//   - CSR assembly (Builder.Build) throughput.
+//
+// None of these numbers feed the paper reproduction: modeled device times
+// come from the cost models and are shape-functions only. This suite tracks
+// how fast the host harness itself runs.
+//
+// Usage: epochbench [-short] [-out BENCH_epoch.json] [-procs 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// report is the BENCH_epoch.json schema.
+type report struct {
+	Timestamp  string          `json:"timestamp"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Short      bool            `json:"short"`
+	Dispatch   dispatchReport  `json:"small_kernel_epoch"`
+	SpMV       partitionReport `json:"spmv"`
+	SpMVT      partitionReport `json:"spmvt"`
+	Allocs     allocsReport    `json:"steady_state_allocs_per_op"`
+	BuildNsOp  int64           `json:"builder_build_ns_op"`
+}
+
+type dispatchReport struct {
+	PoolNsOp     int64   `json:"pool_ns_op"`
+	SpawnNsOp    int64   `json:"spawn_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	PoolAllocs   int64   `json:"pool_allocs_op"`
+	SpawnAllocs  int64   `json:"spawn_allocs_op"`
+	KernelLen    int     `json:"kernel_len"`
+	KernelsPerOp int     `json:"kernels_per_op"`
+}
+
+type partitionReport struct {
+	BalancedNsOp    int64   `json:"balanced_ns_op"`
+	EvenNsOp        int64   `json:"even_ns_op"`
+	Parts           int     `json:"parts"`
+	CriticalNNZBal  int64   `json:"critical_path_nnz_balanced"`
+	CriticalNNZEven int64   `json:"critical_path_nnz_even"`
+	SkewBal         float64 `json:"skew_balanced"`
+	SkewEven        float64 `json:"skew_even"`
+}
+
+type allocsReport struct {
+	LRBatchGrad  float64 `json:"lr_batchgrad"`
+	SVMBatchGrad float64 `json:"svm_batchgrad"`
+	SpMVT        float64 `json:"spmvt"`
+}
+
+// scaleTask is the pre-bound small kernel of the dispatch benchmark.
+type scaleTask struct {
+	data  []float64
+	alpha float64
+}
+
+func (t *scaleTask) Run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.data[i] *= t.alpha
+	}
+}
+
+// heavyTailCSR builds a news20-like matrix: mostly narrow rows with a 2%
+// tail of very wide ones.
+func heavyTailCSR(rows, cols int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		width := 1 + rng.Intn(5)
+		if rng.Float64() < 0.02 {
+			width = cols / 4
+		}
+		for k, j := 0, rng.Intn(cols); k < width && j < cols; k, j = k+1, j+1+rng.Intn(4) {
+			b.Add(i, j, rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+func nsPerOp(r testing.BenchmarkResult) int64 { return r.NsPerOp() }
+
+func benchDispatch(kernels int) dispatchReport {
+	const kernelLen = 512
+	p := pool.New(4)
+	defer p.Close()
+	buf := make([]float64, kernelLen)
+	task := &scaleTask{data: buf}
+	poolRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < kernels; k++ {
+				task.alpha = 1.0000001
+				p.RunGrain(4, kernelLen, 4096, task)
+			}
+		}
+	})
+	spawnRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < kernels; k++ {
+				pool.Spawn(4, kernelLen, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						buf[j] *= 1.0000001
+					}
+				})
+			}
+		}
+	})
+	return dispatchReport{
+		PoolNsOp:     nsPerOp(poolRes),
+		SpawnNsOp:    nsPerOp(spawnRes),
+		Speedup:      float64(nsPerOp(spawnRes)) / float64(nsPerOp(poolRes)),
+		PoolAllocs:   poolRes.AllocsPerOp(),
+		SpawnAllocs:  spawnRes.AllocsPerOp(),
+		KernelLen:    kernelLen,
+		KernelsPerOp: kernels,
+	}
+}
+
+// evenParts is the seed's partitioning: equal row counts.
+func evenParts(rows, parts int) []sparse.Range {
+	chunk := (rows + parts - 1) / parts
+	var out []sparse.Range
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		out = append(out, sparse.Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// skew summarises a partition: the critical-path (max) part nnz and its
+// ratio to the ideal equal share.
+func skew(a *sparse.CSR, parts []sparse.Range) (critical int64, ratio float64) {
+	for _, r := range parts {
+		if n := r.NNZ(a); n > critical {
+			critical = n
+		}
+	}
+	ideal := float64(a.NNZ()) / float64(len(parts))
+	return critical, float64(critical) / ideal
+}
+
+// benchSpMV compares the backend's nnz-balanced SpMV against an
+// even-row-count parallel implementation on the same pool: the two differ
+// only in where the part boundaries fall.
+func benchSpMV(a *sparse.CSR, parts int) partitionReport {
+	bal := linalg.NewCPU(parts)
+	p := pool.Default()
+	even := evenParts(a.NumRows, parts)
+	x := make([]float64, a.NumCols)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	y := make([]float64, a.NumRows)
+	balRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bal.SpMV(a, x, y)
+		}
+	})
+	evenRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.RunFunc(len(even), len(even), func(lo, hi int) {
+				for _, r := range even[lo:hi] {
+					for row := r.Lo; row < r.Hi; row++ {
+						y[row] = a.RowDot(row, x)
+					}
+				}
+			})
+		}
+	})
+	rep := partitionReport{
+		BalancedNsOp: nsPerOp(balRes),
+		EvenNsOp:     nsPerOp(evenRes),
+		Parts:        parts,
+	}
+	rep.CriticalNNZBal, rep.SkewBal = skew(a, a.PartitionNNZ(parts))
+	rep.CriticalNNZEven, rep.SkewEven = skew(a, even)
+	return rep
+}
+
+// benchSpMVT compares the backend's SpMVT (nnz-balanced accumulation +
+// column-parallel reduction) against the seed's scheme: even parts with a
+// sequential Axpy reduction.
+func benchSpMVT(a *sparse.CSR, parts int) partitionReport {
+	bal := linalg.NewCPU(parts)
+	p := pool.Default()
+	even := evenParts(a.NumRows, parts)
+	x := make([]float64, a.NumRows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.NumCols)
+	partials := make([][]float64, len(even))
+	for k := range partials {
+		partials[k] = make([]float64, a.NumCols)
+	}
+	balRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bal.SpMVT(a, x, y)
+		}
+	})
+	evenRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.RunFunc(len(even), len(even), func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out := partials[k]
+					for j := range out {
+						out[j] = 0
+					}
+					for row := even[k].Lo; row < even[k].Hi; row++ {
+						if x[row] != 0 {
+							a.RowAxpy(row, x[row], out)
+						}
+					}
+				}
+			})
+			for j := range y {
+				y[j] = 0
+			}
+			for _, part := range partials {
+				for j, v := range part {
+					y[j] += v
+				}
+			}
+		}
+	})
+	rep := partitionReport{
+		BalancedNsOp: nsPerOp(balRes),
+		EvenNsOp:     nsPerOp(evenRes),
+		Parts:        parts,
+	}
+	rep.CriticalNNZBal, rep.SkewBal = skew(a, a.PartitionNNZ(parts))
+	rep.CriticalNNZEven, rep.SkewEven = skew(a, even)
+	return rep
+}
+
+func measureAllocs(n int) allocsReport {
+	spec, err := data.Lookup("w8a")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epochbench:", err)
+		os.Exit(1)
+	}
+	ds := data.Generate(spec.Scaled(float64(n) / float64(spec.N)))
+	rows := make([]int, 128)
+	for i := range rows {
+		rows[i] = (i * 7) % ds.N()
+	}
+	var rep allocsReport
+	for _, m := range []model.BatchModel{model.NewLR(ds.D()), model.NewSVM(ds.D())} {
+		bk := linalg.NewCPU(8)
+		w := m.InitParams(1)
+		g := make([]float64, m.NumParams())
+		for i := 0; i < 4; i++ {
+			m.BatchGrad(bk, w, ds, rows, g)
+		}
+		a := testing.AllocsPerRun(50, func() { m.BatchGrad(bk, w, ds, rows, g) })
+		if m.Name() == "lr" {
+			rep.LRBatchGrad = a
+		} else {
+			rep.SVMBatchGrad = a
+		}
+	}
+	bk := linalg.NewCPU(8)
+	a := ds.X
+	x := make([]float64, a.NumRows)
+	for i := range x {
+		x[i] = float64(i%3) - 1
+	}
+	y := make([]float64, a.NumCols)
+	for i := 0; i < 4; i++ {
+		bk.SpMVT(a, x, y)
+	}
+	rep.SpMVT = testing.AllocsPerRun(50, func() { bk.SpMVT(a, x, y) })
+	return rep
+}
+
+func benchBuild(rows, cols int) int64 {
+	rng := rand.New(rand.NewSource(3))
+	proto := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		width := 1 + rng.Intn(6)
+		for k, j := 0, rng.Intn(cols); k < width && j < cols; k, j = k+1, j+1+rng.Intn(5) {
+			proto.Add(i, j, 1)
+		}
+	}
+	m := proto.Build()
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fb := sparse.NewBuilder(rows, cols)
+			for r := 0; r < m.NumRows; r++ {
+				cols, vals := m.Row(r)
+				for k, c := range cols {
+					fb.Add(r, int(c), vals[k])
+				}
+			}
+			fb.Build()
+		}
+	})
+	return nsPerOp(res)
+}
+
+func main() {
+	short := flag.Bool("short", false, "smaller matrices and fewer kernels (CI mode)")
+	out := flag.String("out", "BENCH_epoch.json", "output JSON path")
+	procs := flag.Int("procs", 4, "GOMAXPROCS for the benchmarks")
+	flag.Parse()
+	runtime.GOMAXPROCS(*procs)
+
+	rows, cols, kernels, allocN, buildRows := 50000, 4000, 256, 2000, 30000
+	if *short {
+		rows, cols, kernels, allocN, buildRows = 10000, 1500, 64, 800, 8000
+	}
+
+	rep := report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      *short,
+	}
+
+	fmt.Fprintln(os.Stderr, "epochbench: dispatch (pool vs spawn)...")
+	rep.Dispatch = benchDispatch(kernels)
+	a := heavyTailCSR(rows, cols, 7)
+	fmt.Fprintln(os.Stderr, "epochbench: spmv (balanced vs even partitioning)...")
+	rep.SpMV = benchSpMV(a, 8)
+	fmt.Fprintln(os.Stderr, "epochbench: spmvt...")
+	rep.SpMVT = benchSpMVT(a, 8)
+	fmt.Fprintln(os.Stderr, "epochbench: steady-state allocations...")
+	rep.Allocs = measureAllocs(allocN)
+	fmt.Fprintln(os.Stderr, "epochbench: builder build...")
+	rep.BuildNsOp = benchBuild(buildRows, 5000)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epochbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "epochbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: pool %.2fx vs spawn (%d -> %d ns/op, %d -> %d allocs), "+
+		"spmv skew %.2f -> %.2f, spmvt %d vs %d ns/op, lr/svm batchgrad allocs %.0f/%.0f\n",
+		*out, rep.Dispatch.Speedup, rep.Dispatch.SpawnNsOp, rep.Dispatch.PoolNsOp,
+		rep.Dispatch.SpawnAllocs, rep.Dispatch.PoolAllocs,
+		rep.SpMV.SkewEven, rep.SpMV.SkewBal,
+		rep.SpMVT.EvenNsOp, rep.SpMVT.BalancedNsOp,
+		rep.Allocs.LRBatchGrad, rep.Allocs.SVMBatchGrad)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/data"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/numa"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // HogbatchMode selects the execution flavour of the mini-batch asynchronous
@@ -64,11 +64,30 @@ type HogbatchEngine struct {
 	// Axpy model write, barrier = per-batch dispatch overhead), the batch
 	// count, and per-batch latency observations on the serialised paths.
 	Rec obs.Recorder
+	// Pool overrides the worker pool the concurrent path dispatches on
+	// (nil = the shared process pool). Tests inject private pools.
+	Pool *pool.Pool
 
 	cost     *numa.Model
 	seqBack  linalg.Backend
 	gpuBack  *linalg.GPUBackend
 	workerBk []*linalg.CPUBackend
+
+	g          []float64   // serial-path gradient buffer, reused
+	rows       []int       // serial-path batch row indices, reused
+	workerG    [][]float64 // per-worker gradient buffers, reused
+	workerRows [][]int     // per-worker batch row indices, reused
+	workerSec  []float64   // per-worker meter deltas of one epoch
+	pendingG   [][]float64 // emulated-pipeline in-flight gradients
+	freeG      [][]float64 // gradient freelist for the emulated pipeline
+}
+
+// workerPool resolves the dispatch pool.
+func (e *HogbatchEngine) workerPool() *pool.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return pool.Default()
 }
 
 // NewHogbatch builds the engine for the given mode with paper defaults.
@@ -174,8 +193,13 @@ func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) (total, upd fl
 	rec := obs.Or(e.Rec)
 	scale := e.scaleFactor()
 	start := b.Meter().Seconds()
-	g := make([]float64, e.Model.NumParams())
-	rows := make([]int, 0, e.Batch)
+	if len(e.g) != e.Model.NumParams() {
+		e.g = make([]float64, e.Model.NumParams())
+	}
+	if cap(e.rows) < e.Batch {
+		e.rows = make([]int, 0, e.Batch)
+	}
+	g, rows := e.g, e.rows
 	for _, r := range e.batches() {
 		rows = rows[:0]
 		for i := r[0]; i < r[1]; i++ {
@@ -213,23 +237,19 @@ func (e *HogbatchEngine) runParallel(w []float64) float64 {
 	if workers < e.Threads && workers < len(batches) {
 		return e.runEmulatedParallel(w, batches)
 	}
-	if len(e.workerBk) < workers {
-		e.workerBk = make([]*linalg.CPUBackend, workers)
-		for i := range e.workerBk {
-			e.workerBk[i] = linalg.NewCPU(1)
-		}
-	}
+	e.ensureWorkers(workers)
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	var work float64
-	var mu sync.Mutex
-	for p := 0; p < workers; p++ {
-		wg.Add(1)
-		go func(bk *linalg.CPUBackend) {
-			defer wg.Done()
+	// Worker p of the pool dispatch owns backend/gradient/row buffers p;
+	// batches are claimed off the shared atomic counter, so a worker that
+	// draws cheap batches immediately takes more — the same dynamic
+	// balancing as the seed's goroutine version, minus the per-epoch
+	// goroutine spawns and per-worker allocations.
+	e.workerPool().RunFunc(workers, workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			bk := e.workerBk[p]
 			start := bk.Meter().Seconds()
-			g := make([]float64, e.Model.NumParams())
-			rows := make([]int, 0, e.Batch)
+			g := e.workerG[p]
+			rows := e.workerRows[p][:0]
 			upd := model.RawUpdater{}
 			for {
 				k := int(next.Add(1)) - 1
@@ -248,14 +268,31 @@ func (e *HogbatchEngine) runParallel(w []float64) float64 {
 					}
 				}
 			}
-			delta := bk.Meter().Seconds() - start
-			mu.Lock()
-			work += delta
-			mu.Unlock()
-		}(e.workerBk[p])
+			e.workerRows[p] = rows
+			e.workerSec[p] = bk.Meter().Seconds() - start
+		}
+	})
+	var work float64
+	for p := 0; p < workers; p++ {
+		work += e.workerSec[p]
 	}
-	wg.Wait()
 	return work / e.parSpeedup()
+}
+
+// ensureWorkers sizes the per-worker backend and buffer sets.
+func (e *HogbatchEngine) ensureWorkers(workers int) {
+	for len(e.workerBk) < workers {
+		e.workerBk = append(e.workerBk, linalg.NewCPU(1))
+	}
+	for len(e.workerG) < workers {
+		e.workerG = append(e.workerG, make([]float64, e.Model.NumParams()))
+	}
+	for len(e.workerRows) < workers {
+		e.workerRows = append(e.workerRows, make([]int, 0, e.Batch))
+	}
+	if len(e.workerSec) < workers {
+		e.workerSec = make([]float64, workers)
+	}
 }
 
 // parSpeedup is the measured-efficiency parallel factor applied to the
@@ -291,16 +328,23 @@ func (e *HogbatchEngine) runEmulatedParallel(w []float64, batches [][2]int) floa
 	if depth > len(batches) {
 		depth = len(batches)
 	}
-	type pending struct{ g []float64 }
-	queue := make([]pending, 0, depth)
-	rows := make([]int, 0, e.Batch)
+	// In-flight gradients cycle through a freelist: the pipeline holds at
+	// most depth of them, so after warm-up no epoch allocates gradient
+	// buffers (the seed allocated one full model-sized vector per batch).
+	queue := e.pendingG[:0]
+	head := 0
+	if cap(e.rows) < e.Batch {
+		e.rows = make([]int, 0, e.Batch)
+	}
+	rows := e.rows
 	upd := model.RawUpdater{}
-	apply := func(p pending) {
-		for j, gv := range p.g {
+	apply := func(g []float64) {
+		for j, gv := range g {
 			if gv != 0 {
 				upd.Add(w, j, -e.Step*gv)
 			}
 		}
+		e.freeG = append(e.freeG, g)
 	}
 	rec := obs.Or(e.Rec)
 	speedup := e.parSpeedup()
@@ -310,22 +354,34 @@ func (e *HogbatchEngine) runEmulatedParallel(w []float64, batches [][2]int) floa
 		for i := r[0]; i < r[1]; i++ {
 			rows = append(rows, i)
 		}
-		g := make([]float64, e.Model.NumParams())
+		g := e.getG()
 		b0 := bk.Meter().Seconds()
 		e.Model.BatchGrad(bk, w, e.Data, rows, g)
 		rec.Observe(obs.MetricBatchSeconds,
 			((bk.Meter().Seconds()-b0)/speedup+e.PerBatchOverhead)*scale)
-		queue = append(queue, pending{g})
-		if len(queue) >= depth {
-			apply(queue[0])
-			queue = queue[1:]
+		queue = append(queue, g)
+		if len(queue)-head >= depth {
+			apply(queue[head])
+			head++
 		}
 	}
-	for _, p := range queue {
-		apply(p)
+	for ; head < len(queue); head++ {
+		apply(queue[head])
 	}
+	e.pendingG = queue[:0]
 	work := bk.Meter().Seconds() - start
 	return work / speedup
+}
+
+// getG pops a gradient buffer off the freelist (BatchGrad overwrites it
+// entirely, so recycled buffers need no zeroing).
+func (e *HogbatchEngine) getG() []float64 {
+	if n := len(e.freeG); n > 0 {
+		g := e.freeG[n-1]
+		e.freeG = e.freeG[:n-1]
+		return g
+	}
+	return make([]float64, e.Model.NumParams())
 }
 
 var _ Engine = (*HogbatchEngine)(nil)

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // FullScaleStats carries exact full-dataset statistics for the cost model
@@ -58,6 +58,9 @@ type HogwildEngine struct {
 	// update count, each worker's share of the updates, and — when
 	// Updater implements model.RetryCounter — the CAS-retry delta.
 	Rec obs.Recorder
+	// Pool overrides the worker pool the concurrent path dispatches on
+	// (nil = the shared process pool). Tests inject private pools.
+	Pool *pool.Pool
 
 	rng         *rand.Rand
 	perm        []int
@@ -66,6 +69,24 @@ type HogwildEngine struct {
 	gradCost    float64
 	updCost     float64
 	lastRetries int64
+
+	task      hogwildTask     // pre-bound concurrent-path task
+	bounds    []int           // nnz-balanced segment bounds over perm, reused
+	shares    []float64       // per-segment update shares, reused
+	scratches []model.Scratch // per-segment model scratch, created once
+	ring      []inflightUpdate
+	cursors   []int
+	capture   captureUpdater
+	emScratch model.Scratch
+	emInit    bool
+}
+
+// workerPool resolves the dispatch pool.
+func (e *HogwildEngine) workerPool() *pool.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return pool.Default()
 }
 
 // NewHogwild builds the engine with the paper-machine cost model, raw
@@ -176,28 +197,43 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 		e.record([]float64{1})
 		return e.epochCost
 	}
+	// Split the shuffled permutation into segments of approximately equal
+	// nnz, not equal example count: on heavy-tailed data even counts leave
+	// most workers idle behind the one that drew the wide rows, and an idle
+	// worker understates the update interleaving the paper's asynchrony
+	// analysis is about. Segments run on the persistent pool.
 	n := len(e.perm)
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	var shares []float64
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		shares = append(shares, float64(hi-lo)/float64(n))
-		wg.Add(1)
-		go func(part []int) {
-			defer wg.Done()
-			scr := e.Model.NewScratch()
-			for _, i := range part {
-				e.Model.SGDStep(w, e.Data, i, e.Step, e.Updater, scr)
-			}
-		}(e.perm[lo:hi])
+	e.bounds = e.Data.X.PartitionRowsNNZ(e.perm, workers, e.bounds[:0])
+	nseg := len(e.bounds) - 1
+	e.shares = e.shares[:0]
+	for k := 0; k < nseg; k++ {
+		e.shares = append(e.shares, float64(e.bounds[k+1]-e.bounds[k])/float64(n))
 	}
-	wg.Wait()
-	e.record(shares)
+	for len(e.scratches) < nseg {
+		e.scratches = append(e.scratches, e.Model.NewScratch())
+	}
+	e.task = hogwildTask{e: e, w: w}
+	e.workerPool().Run(nseg, nseg, &e.task)
+	e.record(e.shares)
 	return e.epochCost
+}
+
+// hogwildTask runs the permutation segments [lo, hi) of one concurrent
+// epoch; segment k owns scratch k, so concurrent segments never share
+// mutable state (the model vector races by design).
+type hogwildTask struct {
+	e *HogwildEngine
+	w []float64
+}
+
+func (t *hogwildTask) Run(lo, hi int) {
+	e := t.e
+	for k := lo; k < hi; k++ {
+		scr := e.scratches[k]
+		for _, i := range e.perm[e.bounds[k]:e.bounds[k+1]] {
+			e.Model.SGDStep(t.w, e.Data, i, e.Step, e.Updater, scr)
+		}
+	}
 }
 
 // emulatedShares reproduces the chunk split of runEmulated so the recorded
@@ -208,15 +244,15 @@ func (e *HogwildEngine) emulatedShares(p int) []float64 {
 		p = n
 	}
 	chunk := (n + p - 1) / p
-	shares := make([]float64, 0, p)
+	e.shares = e.shares[:0]
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		shares = append(shares, float64(hi-lo)/float64(n))
+		e.shares = append(e.shares, float64(hi-lo)/float64(n))
 	}
-	return shares
+	return e.shares
 }
 
 // runEmulated executes one epoch with P logical threads interleaved
@@ -232,15 +268,31 @@ func (e *HogwildEngine) runEmulated(w []float64, p int) {
 		p = n
 	}
 	chunk := (n + p - 1) / p
-	cursors := make([]int, p) // per logical thread position within its chunk
-	scr := e.Model.NewScratch()
-	type inflight struct {
-		idx   []int
-		delta []float64
+	if cap(e.cursors) < p {
+		e.cursors = make([]int, p)
 	}
-	queue := make([]inflight, 0, p)
-	capture := &captureUpdater{}
-	apply := func(u inflight) {
+	cursors := e.cursors[:p] // per logical thread position within its chunk
+	for t := range cursors {
+		cursors[t] = 0
+	}
+	if !e.emInit {
+		e.emScratch = e.Model.NewScratch()
+		e.emInit = true
+	}
+	scr := e.emScratch
+	// The FIFO of in-flight updates lives in a ring of at most p slots whose
+	// index/delta buffers are reused across updates and epochs — the seed
+	// allocated two fresh slices per model update here, which dominated the
+	// emulated epoch's allocation profile.
+	if cap(e.ring) < p {
+		grown := make([]inflightUpdate, p)
+		copy(grown, e.ring)
+		e.ring = grown
+	}
+	ring := e.ring[:p]
+	head, count := 0, 0
+	capture := &e.capture
+	apply := func(u *inflightUpdate) {
 		for k, ix := range u.idx {
 			e.Updater.Add(w, ix, u.delta[k])
 		}
@@ -260,19 +312,28 @@ func (e *HogwildEngine) runEmulated(w []float64, p int) {
 			capture.idx = capture.idx[:0]
 			capture.delta = capture.delta[:0]
 			e.Model.SGDStep(w, e.Data, e.perm[pos], e.Step, capture, scr)
-			queue = append(queue, inflight{
-				idx:   append([]int(nil), capture.idx...),
-				delta: append([]float64(nil), capture.delta...),
-			})
-			if len(queue) >= p {
-				apply(queue[0])
-				queue = queue[1:]
+			slot := &ring[(head+count)%p]
+			slot.idx = append(slot.idx[:0], capture.idx...)
+			slot.delta = append(slot.delta[:0], capture.delta...)
+			count++
+			if count >= p {
+				apply(&ring[head])
+				head = (head + 1) % p
+				count--
 			}
 		}
 	}
-	for _, u := range queue {
-		apply(u)
+	for ; count > 0; count-- {
+		apply(&ring[head])
+		head = (head + 1) % p
 	}
+}
+
+// inflightUpdate is one captured-but-unapplied model update of the
+// emulated asynchronous pipeline.
+type inflightUpdate struct {
+	idx   []int
+	delta []float64
 }
 
 var _ Engine = (*HogwildEngine)(nil)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// diagonalDataset gives every example a single private feature, so the
+// gradient supports of any two examples are disjoint: a concurrent Hogwild
+// epoch over it performs no overlapping model accesses at all. That isolates
+// the race detector on the machinery under test — the shared worker pool —
+// instead of the model vector's by-design races.
+func diagonalDataset(t testing.TB, n int) *data.Dataset {
+	t.Helper()
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 1
+		if i%2 == 0 {
+			y[i] = -1
+		}
+	}
+	return &data.Dataset{Name: "diag", X: b.Build(), Y: y}
+}
+
+// TestSharedPoolHogwildAndBackendConcurrently drives one worker pool from a
+// genuinely concurrent Hogwild epoch and a CPU backend's batch kernels at
+// the same time. Run under -race it proves the pool's dispatch path — and
+// the backend's pre-bound task plumbing — is data-race free when engines and
+// backends share one pool, the deployment shape of the real system.
+func TestSharedPoolHogwildAndBackendConcurrently(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := pool.New(4)
+	defer p.Close()
+
+	hogDS := diagonalDataset(t, 400)
+	hogModel := model.NewLR(hogDS.D())
+	hog := NewHogwild(hogModel, hogDS, 0.1, 4)
+	hog.Pool = p
+
+	batchDS, _ := smallDataset(t, "w8a", 400)
+	batchModel := model.NewLR(batchDS.D())
+	bk := linalg.NewCPU(8)
+	bk.SetPool(p)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		w := hogModel.InitParams(1)
+		for ep := 0; ep < 5; ep++ {
+			hog.RunEpoch(w)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		w := batchModel.InitParams(2)
+		g := make([]float64, batchModel.NumParams())
+		rows := make([]int, 64)
+		for i := range rows {
+			rows[i] = (i * 5) % batchDS.N()
+		}
+		for it := 0; it < 40; it++ {
+			batchModel.BatchGrad(bk, w, batchDS, rows, g)
+			bk.Axpy(-0.05, g, w)
+		}
+	}()
+	wg.Wait()
+}

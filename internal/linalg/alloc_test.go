@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// allocCSR builds a heavy-tailed CSR for the allocation proofs.
+func allocCSR(tb testing.TB, rows, cols int, seed int64) *sparse.CSR {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		width := 1 + rng.Intn(5)
+		if rng.Float64() < 0.02 {
+			width = cols / 4
+		}
+		for k, j := 0, rng.Intn(cols); k < width && j < cols; k, j = k+1, j+1+rng.Intn(4) {
+			b.Add(i, j, rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+// allocDataset wraps a heavy-tailed CSR with ±1 labels.
+func allocDataset(tb testing.TB, rows, cols int, seed int64) *data.Dataset {
+	tb.Helper()
+	x := allocCSR(tb, rows, cols, seed)
+	y := make([]float64, rows)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range y {
+		y[i] = 1
+		if rng.Intn(2) == 0 {
+			y[i] = -1
+		}
+	}
+	return &data.Dataset{Name: "alloc", X: x, Y: y}
+}
+
+// dispatchBackend returns a parallel CPU backend whose pool really
+// dispatches (a private 4-worker pool, with GOMAXPROCS raised so the
+// workers can run); the cleanup restores both.
+func dispatchBackend(tb testing.TB, threads int) *CPUBackend {
+	tb.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	p := pool.New(4)
+	b := NewCPU(threads)
+	b.SetPool(p)
+	tb.Cleanup(func() {
+		runtime.GOMAXPROCS(prev)
+		p.Close()
+	})
+	return b
+}
+
+// TestSpMVTZeroAllocSteadyState proves the pooled SpMVT — partition,
+// per-part accumulation, column-parallel reduction — allocates nothing once
+// its partition and partial buffers are warm.
+func TestSpMVTZeroAllocSteadyState(t *testing.T) {
+	b := dispatchBackend(t, 8)
+	a := allocCSR(t, 600, 400, 5)
+	x := make([]float64, a.NumRows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.NumCols)
+	for i := 0; i < 4; i++ { // warm the partition, partial, and done-group pools
+		b.SpMVT(a, x, y)
+	}
+	allocs := testing.AllocsPerRun(50, func() { b.SpMVT(a, x, y) })
+	if allocs != 0 {
+		t.Fatalf("SpMVT allocates %v times per call in steady state, want 0", allocs)
+	}
+}
+
+// TestSpMVZeroAllocSteadyState proves the nnz-partitioned SpMV is likewise
+// allocation-free when warm.
+func TestSpMVZeroAllocSteadyState(t *testing.T) {
+	b := dispatchBackend(t, 8)
+	a := allocCSR(t, 600, 400, 6)
+	x := make([]float64, a.NumCols)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	y := make([]float64, a.NumRows)
+	for i := 0; i < 4; i++ {
+		b.SpMV(a, x, y)
+	}
+	allocs := testing.AllocsPerRun(50, func() { b.SpMV(a, x, y) })
+	if allocs != 0 {
+		t.Fatalf("SpMV allocates %v times per call in steady state, want 0", allocs)
+	}
+}
+
+// TestBatchGradZeroAllocSteadyState proves the whole LR and SVM mini-batch
+// gradient — SelectRows arena, margin/coefficient/label buffers, SpMV, Map,
+// SpMVT, Scal — is allocation-free against the CPU backend once warm.
+func TestBatchGradZeroAllocSteadyState(t *testing.T) {
+	ds := allocDataset(t, 800, 300, 9)
+	rows := make([]int, 64)
+	for i := range rows {
+		rows[i] = (i * 11) % ds.N()
+	}
+	for _, m := range []model.BatchModel{model.NewLR(ds.D()), model.NewSVM(ds.D())} {
+		t.Run(m.Name(), func(t *testing.T) {
+			b := dispatchBackend(t, 8)
+			w := m.InitParams(1)
+			g := make([]float64, m.NumParams())
+			for i := 0; i < 4; i++ {
+				m.BatchGrad(b, w, ds, rows, g)
+			}
+			allocs := testing.AllocsPerRun(50, func() { m.BatchGrad(b, w, ds, rows, g) })
+			if allocs != 0 {
+				t.Fatalf("%s BatchGrad allocates %v times per call in steady state, want 0",
+					m.Name(), allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package linalg
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchSetup builds a heavy-tailed matrix and a parallel backend with real
+// dispatch for the sparse-kernel benchmarks.
+func benchSetup(b *testing.B) (*CPUBackend, *CPUBackend) {
+	prev := runtime.GOMAXPROCS(4)
+	b.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	return NewCPU(8), NewCPU(1)
+}
+
+func BenchmarkSpMVBalanced(b *testing.B) {
+	par, _ := benchSetup(b)
+	a := allocCSR(b, 20000, 4000, 1)
+	x := make([]float64, a.NumCols)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	y := make([]float64, a.NumRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.SpMV(a, x, y)
+	}
+}
+
+func BenchmarkSpMVSeq(b *testing.B) {
+	_, seq := benchSetup(b)
+	a := allocCSR(b, 20000, 4000, 1)
+	x := make([]float64, a.NumCols)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	y := make([]float64, a.NumRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.SpMV(a, x, y)
+	}
+}
+
+func BenchmarkSpMVTBalanced(b *testing.B) {
+	par, _ := benchSetup(b)
+	a := allocCSR(b, 20000, 4000, 2)
+	x := make([]float64, a.NumRows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.NumCols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.SpMVT(a, x, y)
+	}
+}
+
+func BenchmarkSpMVTSeq(b *testing.B) {
+	_, seq := benchSetup(b)
+	a := allocCSR(b, 20000, 4000, 2)
+	x := make([]float64, a.NumRows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.NumCols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.SpMVT(a, x, y)
+	}
+}

@@ -2,21 +2,36 @@ package linalg
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/model"
 	"repro/internal/numa"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
 
-// CPUBackend executes operations on the host with goroutine parallelism and
-// prices them against the paper's NUMA machine via the internal/numa model.
-// Threads is the modeled hardware-thread count: 1 reproduces the paper's
-// "cpu-seq" configuration, 56 the "cpu-par" one.
+// elemGrain is the minimum per-worker span of an element-wise kernel.
+// Dispatching a chunk to the pool costs on the order of a microsecond; at
+// ~1ns/element a chunk below a few thousand elements cannot profit, so
+// mini-batch-sized vectors run inline and only model-dimension vectors
+// (hundreds of thousands of columns) actually fan out.
+const elemGrain = 4096
+
+// CPUBackend executes operations on the host with pooled-worker parallelism
+// and prices them against the paper's NUMA machine via the internal/numa
+// model. Threads is the modeled hardware-thread count: 1 reproduces the
+// paper's "cpu-seq" configuration, 56 the "cpu-par" one. Host execution is
+// additionally capped by the pool size; modeled time never depends on how
+// many host cores actually ran the kernel.
+//
+// A backend is a single-caller object (each concurrent engine worker owns
+// its own), which is what lets it keep pre-bound task values and reusable
+// partition/partial buffers without locks.
 type CPUBackend struct {
 	threads int
 	cost    *numa.Model
 	meter   *Meter
+	pool    *pool.Pool
 
 	// WorkScale multiplies the data-dependent work (bytes, flops, and the
 	// cache-fit working set) of every operation before pricing. The
@@ -24,11 +39,24 @@ type CPUBackend struct {
 	// dataset are priced at the paper's full dataset size.
 	WorkScale float64
 
-	partials sync.Pool // per-worker reduction buffers for SpMVT
+	batch model.BatchScratch
+
+	// Pre-bound task values: the hot kernels refill these fields instead of
+	// allocating a closure per call (a closure sent through the pool's
+	// channel escapes to the heap; a refilled struct does not).
+	spmv   spmvTask
+	spmvtA spmvtAccTask
+	spmvtR spmvtReduceTask
+	axpy   axpyTask
+	scal   scalTask
+	emap   mapTask
+
+	parts    []sparse.Range // nnz-balanced row partition, reused per call
+	partials [][]float64    // per-part SpMVT reduction buffers, reused
 }
 
 // NewCPU returns a CPU backend modeling the given hardware-thread count on
-// the paper's dual-socket Xeon.
+// the paper's dual-socket Xeon, dispatching host work on the shared pool.
 func NewCPU(threads int) *CPUBackend {
 	if threads < 1 {
 		threads = 1
@@ -37,6 +65,7 @@ func NewCPU(threads int) *CPUBackend {
 		threads:   threads,
 		cost:      numa.PaperMachine(),
 		meter:     NewMeter(),
+		pool:      pool.Default(),
 		WorkScale: 1,
 	}
 }
@@ -47,6 +76,15 @@ func NewCPUWithModel(threads int, m *numa.Model) *CPUBackend {
 	b := NewCPU(threads)
 	b.cost = m
 	return b
+}
+
+// SetPool redirects host dispatch to a private pool (tests exercising
+// contention or sizing; nil restores the shared default).
+func (b *CPUBackend) SetPool(p *pool.Pool) {
+	if p == nil {
+		p = pool.Default()
+	}
+	b.pool = p
 }
 
 // Name implements Backend.
@@ -63,6 +101,13 @@ func (b *CPUBackend) Threads() int { return b.threads }
 // Meter implements Backend.
 func (b *CPUBackend) Meter() *Meter { return b.meter }
 
+// BatchScratch implements model.BatchScratchProvider: the batch formulations
+// keep their margin/coefficient/label buffers and SelectRows arena here,
+// making the steady-state mini-batch path allocation-free. The simulated-GPU
+// backend deliberately has no such method — its kernel-cost cache is keyed
+// by *sparse.CSR identity, which an in-place arena would poison.
+func (b *CPUBackend) BatchScratch() *model.BatchScratch { return &b.batch }
+
 // charge prices one operation at the paper machine's scale, applying the
 // WorkScale so cache-fit decisions and traffic reflect the full-size
 // dataset.
@@ -77,7 +122,7 @@ func (b *CPUBackend) charge(op string, workingSet, bytes int64, flops float64, t
 
 // Gemv implements model.Ops.
 func (b *CPUBackend) Gemv(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
-	parallelFor(b.threads, a.Rows, func(lo, hi int) {
+	b.pool.RunFunc(b.threads, a.Rows, func(lo, hi int) {
 		sub := &tensor.Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
 		tensor.Gemv(alpha, sub, x, beta, y[lo:hi])
 	})
@@ -88,7 +133,7 @@ func (b *CPUBackend) Gemv(alpha float64, a *tensor.Matrix, x []float64, beta flo
 // GemvT implements model.Ops.
 func (b *CPUBackend) GemvT(alpha float64, a *tensor.Matrix, x []float64, beta float64, y []float64) {
 	// Column-partitioned to keep writes disjoint across workers.
-	parallelFor(b.threads, a.Cols, func(lo, hi int) {
+	b.pool.RunFunc(b.threads, a.Cols, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			var s float64
 			for i := 0; i < a.Rows; i++ {
@@ -120,7 +165,7 @@ func (b *CPUBackend) chargeGemm(op string, m, k, n, threads int) {
 // Gemm implements model.Ops.
 func (b *CPUBackend) Gemm(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
 	threads := b.gemmThreads(c.Rows * c.Cols)
-	parallelFor(threads, c.Rows, func(lo, hi int) {
+	b.pool.RunFunc(threads, c.Rows, func(lo, hi int) {
 		tensor.GemmRows(alpha, a, bm, beta, c, lo, hi)
 	})
 	b.chargeGemm("gemm", a.Rows, a.Cols, bm.Cols, threads)
@@ -129,7 +174,7 @@ func (b *CPUBackend) Gemm(alpha float64, a, bm *tensor.Matrix, beta float64, c *
 // GemmNT implements model.Ops.
 func (b *CPUBackend) GemmNT(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
 	threads := b.gemmThreads(c.Rows * c.Cols)
-	parallelFor(threads, c.Rows, func(lo, hi int) {
+	b.pool.RunFunc(threads, c.Rows, func(lo, hi int) {
 		tensor.GemmNTRows(alpha, a, bm, beta, c, lo, hi)
 	})
 	b.chargeGemm("gemmNT", a.Rows, a.Cols, bm.Rows, threads)
@@ -138,21 +183,22 @@ func (b *CPUBackend) GemmNT(alpha float64, a, bm *tensor.Matrix, beta float64, c
 // GemmTN implements model.Ops.
 func (b *CPUBackend) GemmTN(alpha float64, a, bm *tensor.Matrix, beta float64, c *tensor.Matrix) {
 	threads := b.gemmThreads(c.Rows * c.Cols)
-	parallelFor(threads, c.Rows, func(lo, hi int) {
+	b.pool.RunFunc(threads, c.Rows, func(lo, hi int) {
 		tensor.GemmTNRows(alpha, a, bm, beta, c, lo, hi)
 	})
 	b.chargeGemm("gemmTN", a.Cols, a.Rows, bm.Cols, threads)
 }
 
 // spmvCost prices a sparse matrix-vector product: the CSR arrays stream
-// (12 bytes per stored entry), while the dense-vector gather touches one
-// element per entry — at full 64-byte cache-line granularity when the
-// gathered vector does not fit the executing threads' aggregate L2 (each
-// random access then misses and pulls a whole line; the irregular-access
-// penalty of sparse CPU kernels, paper Section IV-B).
+// (12 bytes per stored entry plus the full NumRows+1 row-pointer array),
+// while the dense-vector gather touches one element per entry — at full
+// 64-byte cache-line granularity when the gathered vector does not fit the
+// executing threads' aggregate L2 (each random access then misses and pulls
+// a whole line; the irregular-access penalty of sparse CPU kernels, paper
+// Section IV-B).
 func (b *CPUBackend) spmvCost(op string, a *sparse.CSR, scatter bool) {
 	nnz := int64(a.NNZ())
-	stream := nnz*12 + int64(a.NumRows)*8
+	stream := nnz*12 + int64(a.NumRows+1)*8
 	perAccess := int64(8)
 	if b.cost.FitLevel(int64(a.NumCols)*8, b.threads) > numa.InL2 {
 		perAccess = 64
@@ -165,114 +211,188 @@ func (b *CPUBackend) spmvCost(op string, a *sparse.CSR, scatter bool) {
 	b.charge(op, ws, stream+gather, 2*float64(nnz), b.threads)
 }
 
-// SpMV implements model.Ops.
+// spmvParts computes the nnz-balanced row partition for a kernel over a.
+// The part count min(threads, rows) depends only on the matrix and the
+// modeled thread count — never on the host — so the partial layout (and
+// with it every reduction order) is identical on any machine.
+func (b *CPUBackend) spmvParts(a *sparse.CSR) []sparse.Range {
+	p := b.threads
+	if p > a.NumRows {
+		p = a.NumRows
+	}
+	b.parts = a.PartitionNNZInto(p, b.parts[:0])
+	return b.parts
+}
+
+// spmvTask computes y rows over the nnz-balanced parts [lo, hi).
+type spmvTask struct {
+	a     *sparse.CSR
+	x, y  []float64
+	parts []sparse.Range
+}
+
+func (t *spmvTask) Run(lo, hi int) {
+	for _, r := range t.parts[lo:hi] {
+		for i := r.Lo; i < r.Hi; i++ {
+			t.y[i] = t.a.RowDot(i, t.x)
+		}
+	}
+}
+
+// SpMV implements model.Ops. Rows are split by nnz, not by count: on a
+// heavy-tailed dataset even row-count chunks leave most workers idle behind
+// the one that drew the wide rows.
 func (b *CPUBackend) SpMV(a *sparse.CSR, x, y []float64) {
-	parallelFor(b.threads, a.NumRows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if b.threads <= 1 || a.NumRows <= 1 {
+		for i := 0; i < a.NumRows; i++ {
 			y[i] = a.RowDot(i, x)
 		}
-	})
+	} else {
+		parts := b.spmvParts(a)
+		b.spmv = spmvTask{a: a, x: x, y: y, parts: parts}
+		b.pool.Run(len(parts), len(parts), &b.spmv)
+	}
 	b.spmvCost("spmv", a, false)
 }
 
-// SpMVT implements model.Ops: workers accumulate into private partial
-// outputs which are then reduced in worker order, keeping the result
-// deterministic while rows are processed concurrently.
+// spmvtAccTask accumulates rows of part k into the k-th private partial,
+// zeroing it first; parts are disjoint, so no synchronisation is needed.
+type spmvtAccTask struct {
+	a        *sparse.CSR
+	x        []float64
+	parts    []sparse.Range
+	partials [][]float64
+}
+
+func (t *spmvtAccTask) Run(lo, hi int) {
+	for k := lo; k < hi; k++ {
+		out := t.partials[k]
+		for i := range out {
+			out[i] = 0
+		}
+		r := t.parts[k]
+		for i := r.Lo; i < r.Hi; i++ {
+			if t.x[i] != 0 {
+				t.a.RowAxpy(i, t.x[i], out)
+			}
+		}
+	}
+}
+
+// spmvtReduceTask reduces the partials into y over the column range
+// [lo, hi): columns in parallel, parts in ascending order per column. The
+// per-column addition order equals the old sequential Axpy sweep, so the
+// result is bitwise identical while the model-dimension reduction (1.35M
+// columns on news20) no longer serialises.
+type spmvtReduceTask struct {
+	y        []float64
+	partials [][]float64
+}
+
+func (t *spmvtReduceTask) Run(lo, hi int) {
+	y := t.y
+	copy(y[lo:hi], t.partials[0][lo:hi])
+	for _, p := range t.partials[1:] {
+		for j := lo; j < hi; j++ {
+			y[j] += p[j]
+		}
+	}
+}
+
+// SpMVT implements model.Ops: workers accumulate into private per-part
+// partial outputs (parts balanced by nnz) which are then reduced
+// column-parallel in part order, keeping the result deterministic while
+// both phases run concurrently.
 func (b *CPUBackend) SpMVT(a *sparse.CSR, x, y []float64) {
-	for j := range y {
-		y[j] = 0
-	}
-	workers := b.threads
-	if workers > a.NumRows {
-		workers = a.NumRows
-	}
-	if workers <= 1 {
+	if b.threads <= 1 || a.NumRows <= 1 {
 		a.MulVecT(x, y)
-	} else {
-		parts := make([][]float64, workers)
-		chunk := (a.NumRows + workers - 1) / workers
-		var wg sync.WaitGroup
-		for wkr := 0; wkr < workers; wkr++ {
-			lo := wkr * chunk
-			if lo >= a.NumRows {
-				parts[wkr] = nil
-				continue
-			}
-			hi := lo + chunk
-			if hi > a.NumRows {
-				hi = a.NumRows
-			}
-			buf := b.getPartial(len(y))
-			parts[wkr] = buf
-			wg.Add(1)
-			go func(lo, hi int, out []float64) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					if x[i] != 0 {
-						a.RowAxpy(i, x[i], out)
-					}
-				}
-			}(lo, hi, buf)
-		}
-		wg.Wait()
-		for _, p := range parts {
-			if p == nil {
-				continue
-			}
-			tensor.Axpy(1, p, y)
-			b.putPartial(p)
-		}
+		b.spmvCost("spmvT", a, true)
+		return
 	}
+	parts := b.spmvParts(a)
+	if len(parts) == 1 {
+		a.MulVecT(x, y)
+		b.spmvCost("spmvT", a, true)
+		return
+	}
+	b.ensurePartials(len(parts), len(y))
+	b.spmvtA = spmvtAccTask{a: a, x: x, parts: parts, partials: b.partials}
+	b.pool.Run(len(parts), len(parts), &b.spmvtA)
+	b.spmvtR = spmvtReduceTask{y: y, partials: b.partials}
+	b.pool.RunGrain(b.threads, len(y), elemGrain, &b.spmvtR)
 	b.spmvCost("spmvT", a, true)
 }
 
-func (b *CPUBackend) getPartial(n int) []float64 {
-	if v := b.partials.Get(); v != nil {
-		buf := v.([]float64)
-		if cap(buf) >= n {
-			buf = buf[:n]
-			for i := range buf {
-				buf[i] = 0
-			}
-			return buf
+// ensurePartials sizes the reusable per-part reduction buffers to p buffers
+// of n elements, reusing capacity (buffers are zeroed by the accumulate
+// task, not here).
+func (b *CPUBackend) ensurePartials(p, n int) {
+	if cap(b.partials) < p {
+		np := make([][]float64, p)
+		copy(np, b.partials[:len(b.partials)])
+		b.partials = np
+	}
+	b.partials = b.partials[:p]
+	for k := range b.partials {
+		if cap(b.partials[k]) < n {
+			b.partials[k] = make([]float64, n)
+		} else {
+			b.partials[k] = b.partials[k][:n]
 		}
 	}
-	return make([]float64, n)
 }
 
-func (b *CPUBackend) putPartial(p []float64) { b.partials.Put(p) } //nolint:staticcheck
+type axpyTask struct {
+	alpha float64
+	x, y  []float64
+}
+
+func (t *axpyTask) Run(lo, hi int) { tensor.Axpy(t.alpha, t.x[lo:hi], t.y[lo:hi]) }
 
 // Axpy implements model.Ops.
 func (b *CPUBackend) Axpy(alpha float64, x, y []float64) {
-	parallelFor(b.threads, len(y), func(lo, hi int) {
-		tensor.Axpy(alpha, x[lo:hi], y[lo:hi])
-	})
+	b.axpy = axpyTask{alpha: alpha, x: x, y: y}
+	b.pool.RunGrain(b.threads, len(y), elemGrain, &b.axpy)
 	n := int64(len(y))
 	b.charge("axpy", n*16, n*24, 2*float64(n), b.threads)
 }
 
+type scalTask struct {
+	alpha float64
+	x     []float64
+}
+
+func (t *scalTask) Run(lo, hi int) { tensor.Scal(t.alpha, t.x[lo:hi]) }
+
 // Scal implements model.Ops.
 func (b *CPUBackend) Scal(alpha float64, x []float64) {
-	parallelFor(b.threads, len(x), func(lo, hi int) {
-		tensor.Scal(alpha, x[lo:hi])
-	})
+	b.scal = scalTask{alpha: alpha, x: x}
+	b.pool.RunGrain(b.threads, len(x), elemGrain, &b.scal)
 	n := int64(len(x))
 	b.charge("scal", n*8, n*16, float64(n), b.threads)
 }
 
+type mapTask struct {
+	dst, src, aux []float64
+	f             func(s, a float64) float64
+}
+
+func (t *mapTask) Run(lo, hi int) {
+	if t.aux == nil {
+		for i := lo; i < hi; i++ {
+			t.dst[i] = t.f(t.src[i], 0)
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			t.dst[i] = t.f(t.src[i], t.aux[i])
+		}
+	}
+}
+
 // Map implements model.Ops.
 func (b *CPUBackend) Map(dst, src, aux []float64, f func(s, a float64) float64) {
-	parallelFor(b.threads, len(dst), func(lo, hi int) {
-		if aux == nil {
-			for i := lo; i < hi; i++ {
-				dst[i] = f(src[i], 0)
-			}
-		} else {
-			for i := lo; i < hi; i++ {
-				dst[i] = f(src[i], aux[i])
-			}
-		}
-	})
+	b.emap = mapTask{dst: dst, src: src, aux: aux, f: f}
+	b.pool.RunGrain(b.threads, len(dst), elemGrain, &b.emap)
 	n := int64(len(dst))
 	// Element-wise kernels with transcendentals: ~8 flops/element.
 	b.charge("map", n*24, n*24, 8*float64(n), b.threads)
@@ -280,7 +400,7 @@ func (b *CPUBackend) Map(dst, src, aux []float64, f func(s, a float64) float64) 
 
 // RowsMap implements model.Ops.
 func (b *CPUBackend) RowsMap(m *tensor.Matrix, f func(i int, row []float64)) {
-	parallelFor(b.threads, m.Rows, func(lo, hi int) {
+	b.pool.RunFunc(b.threads, m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i, m.Row(i))
 		}
@@ -289,4 +409,7 @@ func (b *CPUBackend) RowsMap(m *tensor.Matrix, f func(i int, row []float64)) {
 	b.charge("rowsmap", n*8, n*16, 8*float64(n), b.threads)
 }
 
-var _ Backend = (*CPUBackend)(nil)
+var (
+	_ Backend                    = (*CPUBackend)(nil)
+	_ model.BatchScratchProvider = (*CPUBackend)(nil)
+)

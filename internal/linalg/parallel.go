@@ -1,44 +1,17 @@
 package linalg
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/pool"
 
 // parallelFor splits [0, n) into contiguous ranges and runs fn on up to
-// `workers` goroutines. With workers <= 1 (or a trivial n) it runs inline.
-// Ranges are disjoint, so fn may write to per-index state without
-// synchronisation; the call returns only when all ranges are done.
+// `workers` workers of the shared persistent pool (which is sized to
+// GOMAXPROCS, so oversubscribing the host is impossible). With workers <= 1
+// or a trivial n it runs inline. Ranges are disjoint, so fn may write to
+// per-index state without synchronisation; the call returns only when all
+// ranges are done.
+//
+// The CPU backend's hot kernels no longer come through here — they dispatch
+// pre-bound tasks on the backend's own pool handle to stay allocation-free —
+// but the helper remains the convenient entry point for closure call sites.
 func parallelFor(workers, n int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	maxProcs := runtime.GOMAXPROCS(0)
-	if workers > maxProcs {
-		// More goroutines than cores adds no real concurrency on the
-		// host running the study code; modeled time is priced
-		// separately against the paper machine's thread count.
-		workers = maxProcs
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.Default().RunFunc(workers, n, fn)
 }

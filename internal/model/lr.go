@@ -66,15 +66,16 @@ func (m *LR) GradSupport(ds *data.Dataset, i int) int { return ds.X.RowNNZ(i) }
 // sequence: margins = X*w (SpMV), per-example coefficients (element-wise
 // map), g = X^T*coef / n (SpMV-transpose + scal).
 func (m *LR) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64 {
+	scr := batchScratchOf(b)
 	x := ds.X
 	if rows != nil {
-		x = ds.X.SelectRows(rows)
+		x = scr.selectRows(ds.X, rows)
 	}
 	n := x.NumRows
-	margins := make([]float64, n)
+	margins := scr.marginBuf(n)
 	b.SpMV(x, w, margins)
-	ys := selectLabels(ds, rows)
-	coef := make([]float64, n)
+	ys := scr.selectLabelsInto(ds, rows)
+	coef := scr.coefBuf(n)
 	// Per-example loss coefficients as a device element-wise kernel so the
 	// backend accounts its cost; the loss reduction itself is host-side and
 	// excluded from iteration timing, per the paper's methodology.
@@ -88,19 +89,6 @@ func (m *LR) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []flo
 	b.SpMVT(x, coef, g)
 	b.Scal(1/float64(n), g)
 	return loss / float64(n)
-}
-
-// selectLabels returns the label vector for the given row subset (nil = all
-// rows, returning the dataset's label slice directly).
-func selectLabels(ds *data.Dataset, rows []int) []float64 {
-	if rows == nil {
-		return ds.Y
-	}
-	ys := make([]float64, len(rows))
-	for i, r := range rows {
-		ys[i] = ds.Y[r]
-	}
-	return ys
 }
 
 var (

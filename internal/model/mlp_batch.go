@@ -43,15 +43,9 @@ func (m *MLP) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []fl
 	in0 := m.Widths[0]
 	chunk := m.chunkSize()
 
-	// Reusable chunk buffers.
-	a0 := tensor.NewMatrix(chunk, in0)
-	acts := make([]*tensor.Matrix, L+1) // acts[l]: chunk x Widths[l]
-	deltas := make([]*tensor.Matrix, L+1)
-	for l := 1; l <= L; l++ {
-		acts[l] = tensor.NewMatrix(chunk, m.Widths[l])
-		deltas[l] = tensor.NewMatrix(chunk, m.Widths[l])
-	}
-	classes := make([]int, chunk)
+	// Chunk buffers, cached on the backend scratch when one is available so
+	// the steady-state epoch re-uses them across batches.
+	a0, acts, deltas, classes := batchScratchOf(b).mlpChunkBufs(m, chunk)
 
 	var totalLoss float64
 	for start := 0; start < n; start += chunk {
@@ -145,4 +139,57 @@ func (m *MLP) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []fl
 // chunkView returns the first cn rows of m as a matrix view.
 func chunkView(m *tensor.Matrix, cn int) *tensor.Matrix {
 	return &tensor.Matrix{Rows: cn, Cols: m.Cols, Data: m.Data[:cn*m.Cols]}
+}
+
+// mlpBatchScratch caches the chunk-pipeline matrices of MLP.BatchGrad. The
+// buffers depend only on (chunk, widths); a shape change rebuilds them.
+type mlpBatchScratch struct {
+	chunk   int
+	widths  []int
+	a0      *tensor.Matrix
+	acts    []*tensor.Matrix
+	deltas  []*tensor.Matrix
+	classes []int
+}
+
+// mlpChunkBufs returns the chunk buffers for m, reusing the cached set when
+// the shape matches (nil scratch allocates fresh buffers, the seed path).
+// Every buffer is fully overwritten per chunk, so reuse cannot leak state
+// between batches.
+func (s *BatchScratch) mlpChunkBufs(m *MLP, chunk int) (*tensor.Matrix, []*tensor.Matrix, []*tensor.Matrix, []int) {
+	if s == nil {
+		return newMLPChunkBufs(m, chunk)
+	}
+	ms := &s.mlp
+	if ms.a0 == nil || ms.chunk != chunk || !equalWidths(ms.widths, m.Widths) {
+		ms.a0, ms.acts, ms.deltas, ms.classes = newMLPChunkBufs(m, chunk)
+		ms.chunk = chunk
+		ms.widths = append(ms.widths[:0], m.Widths...)
+	}
+	return ms.a0, ms.acts, ms.deltas, ms.classes
+}
+
+func newMLPChunkBufs(m *MLP, chunk int) (*tensor.Matrix, []*tensor.Matrix, []*tensor.Matrix, []int) {
+	L := m.Layers()
+	a0 := tensor.NewMatrix(chunk, m.Widths[0])
+	acts := make([]*tensor.Matrix, L+1) // acts[l]: chunk x Widths[l]
+	deltas := make([]*tensor.Matrix, L+1)
+	for l := 1; l <= L; l++ {
+		acts[l] = tensor.NewMatrix(chunk, m.Widths[l])
+		deltas[l] = tensor.NewMatrix(chunk, m.Widths[l])
+	}
+	classes := make([]int, chunk)
+	return a0, acts, deltas, classes
+}
+
+func equalWidths(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

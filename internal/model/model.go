@@ -23,6 +23,7 @@ import (
 	"unsafe"
 
 	"repro/internal/data"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -164,16 +165,46 @@ type BatchModel interface {
 	BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64
 }
 
+// meanLossGrain keeps MeanLoss chunks large enough that dispatching them to
+// the worker pool is profitable (an example loss is a sparse dot, tens of
+// nanoseconds).
+const meanLossGrain = 1024
+
 // MeanLoss computes the mean per-example loss over the whole dataset with
 // the scalar path. The convergence driver uses it; its time is excluded from
-// iteration timing, following the paper's methodology.
+// iteration timing, following the paper's methodology, so this host-side
+// evaluation may use every core: per-example losses are computed in parallel
+// into a buffer, then summed sequentially in index order — bitwise identical
+// to the serial sweep.
 func MeanLoss(m Model, w []float64, ds *data.Dataset) float64 {
-	scr := m.NewScratch()
-	var s float64
-	for i := 0; i < ds.N(); i++ {
-		s += m.ExampleLoss(w, ds, i, scr)
+	n := ds.N()
+	if n == 0 {
+		return 0
 	}
-	return s / float64(ds.N())
+	losses := make([]float64, n)
+	p := pool.Default()
+	p.RunGrain(p.Size(), n, meanLossGrain, meanLossTask{m: m, w: w, ds: ds, losses: losses})
+	var s float64
+	for _, l := range losses {
+		s += l
+	}
+	return s / float64(n)
+}
+
+// meanLossTask evaluates per-example losses over [lo, hi); each invocation
+// builds its own model scratch, so concurrent chunks never share state.
+type meanLossTask struct {
+	m      Model
+	w      []float64
+	ds     *data.Dataset
+	losses []float64
+}
+
+func (t meanLossTask) Run(lo, hi int) {
+	scr := t.m.NewScratch()
+	for i := lo; i < hi; i++ {
+		t.losses[i] = t.m.ExampleLoss(t.w, t.ds, i, scr)
+	}
 }
 
 // initRNG builds the shared deterministic initialiser stream.

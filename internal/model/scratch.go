@@ -1,0 +1,98 @@
+package model
+
+import (
+	"repro/internal/data"
+	"repro/internal/sparse"
+)
+
+// BatchScratch holds the reusable buffers of the BatchGrad hot path:
+// margin/coefficient/label vectors, the SelectRows arena for mini-batch row
+// subsets, and the MLP chunk-pipeline matrices. A backend that owns one and
+// exposes it through BatchScratchProvider makes steady-state BatchGrad
+// allocation-free; without a provider, BatchGrad falls back to fresh
+// allocations (the seed behaviour).
+//
+// A BatchScratch belongs to whoever drives the backend: backends are
+// single-caller objects (each concurrent Hogbatch worker owns its own), so
+// no locking is needed. Models stay stateless — scratch travels with the
+// backend, never with the Model, because one Model instance is shared by
+// concurrent workers.
+type BatchScratch struct {
+	margins []float64
+	coef    []float64
+	labels  []float64
+	sel     sparse.CSR
+	mlp     mlpBatchScratch
+}
+
+// BatchScratchProvider is implemented by backends that carry a reusable
+// BatchScratch. The CPU backend implements it; the simulated-GPU backend
+// deliberately does not, because its structure-dependent kernel-cost cache
+// is keyed by *sparse.CSR identity and an arena that mutates in place under
+// a stable pointer would poison it.
+type BatchScratchProvider interface {
+	BatchScratch() *BatchScratch
+}
+
+// batchScratchOf returns the backend's scratch, or nil when the backend
+// does not provide one (every helper below treats nil as "allocate fresh").
+func batchScratchOf(b Ops) *BatchScratch {
+	if p, ok := b.(BatchScratchProvider); ok {
+		return p.BatchScratch()
+	}
+	return nil
+}
+
+// grow returns buf resized to n, reusing capacity when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// marginBuf returns the reusable margin vector of length n.
+func (s *BatchScratch) marginBuf(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	s.margins = grow(s.margins, n)
+	return s.margins
+}
+
+// coefBuf returns the reusable coefficient vector of length n.
+func (s *BatchScratch) coefBuf(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	s.coef = grow(s.coef, n)
+	return s.coef
+}
+
+// selectRows returns the row subset of x as a CSR backed by the scratch
+// arena (or a fresh matrix without scratch).
+func (s *BatchScratch) selectRows(x *sparse.CSR, rows []int) *sparse.CSR {
+	if s == nil {
+		return x.SelectRows(rows)
+	}
+	return x.SelectRowsInto(rows, &s.sel)
+}
+
+// selectLabelsInto returns the label vector for the row subset (nil rows =
+// the dataset's own label slice), reusing the scratch label buffer.
+func (s *BatchScratch) selectLabelsInto(ds *data.Dataset, rows []int) []float64 {
+	if rows == nil {
+		return ds.Y
+	}
+	var ys []float64
+	if s == nil {
+		ys = make([]float64, len(rows))
+	} else {
+		s.labels = grow(s.labels, len(rows))
+		ys = s.labels
+	}
+	for i, r := range rows {
+		ys[i] = ds.Y[r]
+	}
+	return ys
+}

@@ -66,15 +66,16 @@ func (m *SVM) GradSupport(ds *data.Dataset, i int) int { return ds.X.RowNNZ(i) }
 // BatchGrad implements BatchModel: margins = X*w, hinge coefficients as an
 // element-wise kernel, g = X^T*coef / n.
 func (m *SVM) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64 {
+	scr := batchScratchOf(b)
 	x := ds.X
 	if rows != nil {
-		x = ds.X.SelectRows(rows)
+		x = scr.selectRows(ds.X, rows)
 	}
 	n := x.NumRows
-	margins := make([]float64, n)
+	margins := scr.marginBuf(n)
 	b.SpMV(x, w, margins)
-	ys := selectLabels(ds, rows)
-	coef := make([]float64, n)
+	ys := scr.selectLabelsInto(ds, rows)
+	coef := scr.coefBuf(n)
 	b.Map(coef, margins, ys, func(margin, y float64) float64 {
 		if y*margin >= 1 {
 			return 0

@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The epoch path of the study is dominated by many small kernels (Map,
+// Axpy, Scal over mini-batch-sized vectors). These benchmarks compare the
+// per-operation dispatch cost of the persistent pool against the seed's
+// spawn-per-call scheme on exactly that shape: an "epoch" of kernelOps
+// element-wise operations over a vector of kernelLen floats, fanned out to
+// benchWorkers workers.
+
+const (
+	kernelLen    = 512
+	kernelOps    = 256
+	benchWorkers = 4
+)
+
+// withProcs raises GOMAXPROCS for the benchmark so both schemes actually
+// schedule benchWorkers goroutines (dispatch overhead is what is measured;
+// it is paid regardless of physical core count).
+func withProcs(b *testing.B, procs int, fn func()) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+type axpyTask struct {
+	alpha float64
+	x, y  []float64
+}
+
+func (t *axpyTask) Run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.y[i] += t.alpha * t.x[i]
+	}
+}
+
+// BenchmarkSmallKernelEpochPool is the pool side of the tentpole
+// comparison: one iteration is an epoch of kernelOps small Axpy kernels
+// dispatched the way the CPU backend dispatches element-wise kernels — a
+// warm persistent pool with a minimum per-worker grain, so mini-batch-sized
+// vectors never pay a dispatch at all.
+func BenchmarkSmallKernelEpochPool(b *testing.B) {
+	withProcs(b, benchWorkers, func() {
+		p := New(benchWorkers)
+		defer p.Close()
+		x := make([]float64, kernelLen)
+		y := make([]float64, kernelLen)
+		task := &axpyTask{alpha: 0.5, x: x, y: y}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for op := 0; op < kernelOps; op++ {
+				p.RunGrain(benchWorkers, kernelLen, 4096, task)
+			}
+		}
+	})
+}
+
+// BenchmarkSmallKernelEpochSpawn is the spawn-per-call baseline (the seed's
+// parallelFor behaviour) on the identical kernel sequence.
+func BenchmarkSmallKernelEpochSpawn(b *testing.B) {
+	withProcs(b, benchWorkers, func() {
+		x := make([]float64, kernelLen)
+		y := make([]float64, kernelLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for op := 0; op < kernelOps; op++ {
+				Spawn(benchWorkers, kernelLen, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						y[j] += 0.5 * x[j]
+					}
+				})
+			}
+		}
+	})
+}
+
+// BenchmarkDispatchOnlyPool isolates pure dispatch latency (empty body).
+func BenchmarkDispatchOnlyPool(b *testing.B) {
+	withProcs(b, benchWorkers, func() {
+		p := New(benchWorkers)
+		defer p.Close()
+		task := &axpyTask{alpha: 0, x: make([]float64, benchWorkers), y: make([]float64, benchWorkers)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Run(benchWorkers, benchWorkers, task)
+		}
+	})
+}
+
+// BenchmarkDispatchOnlySpawn isolates spawn+join latency (empty body).
+func BenchmarkDispatchOnlySpawn(b *testing.B) {
+	withProcs(b, benchWorkers, func() {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Spawn(benchWorkers, benchWorkers, func(lo, hi int) {})
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package pool
+
+import "sync"
+
+// Spawn is the per-call goroutine-spawning reference implementation the
+// persistent pool replaced (the seed's linalg.parallelFor, minus its
+// GOMAXPROCS clamp so benchmarks can force a worker count). Each call pays
+// `workers` goroutine creations, a closure allocation per chunk, and a
+// WaitGroup park/wake. It is kept as the baseline for the pool-vs-spawn
+// benchmarks and as an independent oracle in tests; production code should
+// use Pool.Run.
+func Spawn(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

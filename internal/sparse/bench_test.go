@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fillBuilder populates a builder with a news20-like heavy-tailed load.
+func fillBuilder(rng *rand.Rand, b *Builder, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		width := 1 + rng.Intn(6)
+		if rng.Float64() < 0.02 {
+			width = 200
+		}
+		for k, j := 0, rng.Intn(cols); k < width && j < cols; k, j = k+1, j+1+rng.Intn(5) {
+			b.Add(i, j, 1)
+		}
+	}
+}
+
+// BenchmarkBuilderBuild measures CSR assembly at a heavy-tailed scale; the
+// dedup-counting pre-pass replaces append-doubling with two exact
+// allocations.
+func BenchmarkBuilderBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows, cols := 20000, 5000
+	proto := NewBuilder(rows, cols)
+	fillBuilder(rng, proto, rows, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rebuild from a copied entry list so each iteration sorts and
+		// assembles the same load.
+		bb := NewBuilder(rows, cols)
+		bb.entries = append(bb.entries[:0], proto.entries...)
+		m := bb.Build()
+		if m.NNZ() == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}
+
+func BenchmarkPartitionNNZ(b *testing.B) {
+	m := heavyTailCSR(b, 50000, 2000, 7)
+	buf := make([]Range, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.PartitionNNZInto(56, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkSelectRowsInto(b *testing.B) {
+	m := heavyTailCSR(b, 20000, 2000, 9)
+	rows := make([]int, 512)
+	for i := range rows {
+		rows[i] = (i * 37) % m.NumRows
+	}
+	var arena CSR
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SelectRowsInto(rows, &arena)
+	}
+}

@@ -180,21 +180,55 @@ func (m *CSR) Density() float64 {
 
 // SelectRows returns a new CSR containing the given rows of m, in order.
 func (m *CSR) SelectRows(rows []int) *CSR {
-	out := &CSR{NumRows: len(rows), NumCols: m.NumCols}
-	out.RowPtr = make([]int64, len(rows)+1)
+	return m.SelectRowsInto(rows, nil)
+}
+
+// SelectRowsInto is SelectRows writing into dst, reusing its array
+// capacity (nil dst allocates a fresh matrix). The mini-batch engines call
+// SelectRows once per batch; reusing one arena keeps the steady-state batch
+// path allocation-free. dst must not alias m.
+func (m *CSR) SelectRowsInto(rows []int, dst *CSR) *CSR {
+	if dst == nil {
+		dst = &CSR{}
+	}
+	dst.NumRows, dst.NumCols = len(rows), m.NumCols
+	dst.RowPtr = growInt64(dst.RowPtr, len(rows)+1)
+	dst.RowPtr[0] = 0
 	var nnz int64
 	for i, r := range rows {
 		nnz += int64(m.RowNNZ(r))
-		out.RowPtr[i+1] = nnz
+		dst.RowPtr[i+1] = nnz
 	}
-	out.ColIdx = make([]int32, nnz)
-	out.Values = make([]float64, nnz)
+	dst.ColIdx = growInt32(dst.ColIdx, int(nnz))
+	dst.Values = growFloat64(dst.Values, int(nnz))
 	for i, r := range rows {
 		cols, vals := m.Row(r)
-		copy(out.ColIdx[out.RowPtr[i]:], cols)
-		copy(out.Values[out.RowPtr[i]:], vals)
+		copy(dst.ColIdx[dst.RowPtr[i]:], cols)
+		copy(dst.Values[dst.RowPtr[i]:], vals)
 	}
-	return out
+	return dst
+}
+
+// growInt64 resizes s to n elements, reusing capacity when possible.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // Builder accumulates COO triplets and assembles a valid CSR. Duplicate
@@ -225,7 +259,9 @@ func (b *Builder) Add(i, j int, v float64) {
 }
 
 // Build assembles the CSR, sorting columns within rows and summing
-// duplicates.
+// duplicates. A dedup-counting pre-pass sizes ColIdx/Values exactly, so a
+// news20-scale load performs two large allocations instead of append-
+// doubling through dozens of reallocated copies.
 func (b *Builder) Build() *CSR {
 	sort.Slice(b.entries, func(x, y int) bool {
 		if b.entries[x].row != b.entries[y].row {
@@ -233,8 +269,16 @@ func (b *Builder) Build() *CSR {
 		}
 		return b.entries[x].col < b.entries[y].col
 	})
+	uniq := 0
+	for k := range b.entries {
+		if k == 0 || b.entries[k].row != b.entries[k-1].row || b.entries[k].col != b.entries[k-1].col {
+			uniq++
+		}
+	}
 	m := &CSR{NumRows: b.rows, NumCols: b.cols}
 	m.RowPtr = make([]int64, b.rows+1)
+	m.ColIdx = make([]int32, 0, uniq)
+	m.Values = make([]float64, 0, uniq)
 	for k := 0; k < len(b.entries); {
 		e := b.entries[k]
 		v := e.val
