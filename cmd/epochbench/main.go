@@ -15,6 +15,14 @@
 // how fast the host harness itself runs.
 //
 // Usage: epochbench [-short] [-out BENCH_epoch.json] [-procs 4]
+//
+//	[-compare BENCH_baseline.json]
+//
+// With -compare, the fresh report is additionally diffed against the given
+// baseline under the regression-gate thresholds (see internal/regress) and
+// the process exits non-zero on a perf regression. CI writes the fresh
+// report to a temporary path and compares against the committed baseline,
+// so the working tree never gets dirtied by a bench run.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/pool"
+	"repro/internal/regress"
 	"repro/internal/sparse"
 )
 
@@ -333,6 +342,7 @@ func main() {
 	short := flag.Bool("short", false, "smaller matrices and fewer kernels (CI mode)")
 	out := flag.String("out", "BENCH_epoch.json", "output JSON path")
 	procs := flag.Int("procs", 4, "GOMAXPROCS for the benchmarks")
+	compare := flag.String("compare", "", "baseline report to gate against (exit 1 on regression)")
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
 
@@ -379,4 +389,22 @@ func main() {
 		rep.SpMV.SkewEven, rep.SpMV.SkewBal,
 		rep.SpMVT.EvenNsOp, rep.SpMVT.BalancedNsOp,
 		rep.Allocs.LRBatchGrad, rep.Allocs.SVMBatchGrad)
+
+	if *compare != "" {
+		gate, err := regress.CompareBenchFiles(*compare, *out, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epochbench:", err)
+			os.Exit(1)
+		}
+		for _, c := range gate.Checks {
+			if c.Status != "pass" {
+				fmt.Printf("bench gate: %-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
+			}
+		}
+		if !gate.Pass {
+			fmt.Fprintln(os.Stderr, "epochbench: perf gate FAILED against", *compare)
+			os.Exit(1)
+		}
+		fmt.Println("epochbench: perf gate passed against", *compare)
+	}
 }

@@ -1,0 +1,138 @@
+// Command sgdgate is the regression gate for the 8-engine matrix: it
+// re-runs every configuration of the paper's sync/async × CPU/GPU ×
+// dense/sparse cube at a small seeded scale and checks the convergence
+// curves against committed goldens (deterministic engines) or quantile
+// envelopes (asynchronous engines), plus a noise-aware diff of the
+// epochbench performance report against its committed baseline.
+//
+// Subcommands:
+//
+//	sgdgate run     [-report out.json]             run the matrix, write raw curves (no gating)
+//	sgdgate compare [-golden dir] [-report out.json] [-update]
+//	                                               gate against goldens; -update re-records them
+//	sgdgate bench   -baseline BENCH_baseline.json -new BENCH_epoch.json [-report out.json]
+//	                                               perf gate: diff fresh bench report vs baseline
+//
+// Exit status: 0 all gates pass, 1 a gate failed, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/regress"
+)
+
+const defaultGoldenDir = "internal/regress/testdata/golden"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sgdgate {run|compare|bench} [flags]  (see go doc ./cmd/sgdgate)")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgdgate:", err)
+	os.Exit(2)
+}
+
+// cmdRun executes the matrix and dumps every seeded curve: the inspection
+// mode for deciding tolerances and debugging a failing gate.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	report := fs.String("report", "", "write raw run results as JSON to this path")
+	fs.Parse(args)
+	type runDump struct {
+		Key  string               `json:"key"`
+		Cfg  regress.Config       `json:"config"`
+		Runs []regress.RunOutcome `json:"runs"`
+	}
+	var dumps []runDump
+	for _, c := range regress.DefaultMatrix() {
+		runs, err := regress.RunSeeds(c)
+		if err != nil {
+			fatal(err)
+		}
+		key := c.Fingerprint().Key()
+		dumps = append(dumps, runDump{Key: key, Cfg: c, Runs: runs})
+		last := runs[len(runs)-1]
+		fmt.Printf("%-48s seeds=%d final_loss=%.6f sec/epoch=%.4g\n",
+			key, len(runs), last.Losses[len(last.Losses)-1], last.SecPerEpoch)
+	}
+	if err := regress.WriteReport(*report, dumps); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdCompare is the convergence gate (or, with -update, the golden
+// re-recorder).
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	golden := fs.String("golden", defaultGoldenDir, "directory of committed goldens")
+	report := fs.String("report", "", "write the gate report as JSON to this path")
+	update := fs.Bool("update", false, "re-record goldens instead of comparing")
+	fs.Parse(args)
+	configs := regress.DefaultMatrix()
+	if *update {
+		if err := regress.Update(*golden, configs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sgdgate: recorded %d goldens under %s\n", len(configs), *golden)
+		return
+	}
+	rep := regress.Gate(*golden, configs)
+	for _, r := range rep.Results {
+		fmt.Printf("%-6s %-48s %s\n", r.Status, r.Key, r.Detail)
+	}
+	if err := regress.WriteReport(*report, rep); err != nil {
+		fatal(err)
+	}
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "sgdgate: convergence gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("sgdgate: convergence gate passed")
+}
+
+// cmdBench is the performance gate.
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	fresh := fs.String("new", "BENCH_epoch.json", "fresh epochbench report")
+	report := fs.String("report", "", "write the gate report as JSON to this path")
+	fs.Parse(args)
+	rep, err := regress.CompareBenchFiles(*baseline, *fresh, nil)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range rep.Checks {
+		fmt.Printf("%-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
+	}
+	if !rep.Comparable {
+		fmt.Printf("sgdgate: wall-clock ratios skipped (%s)\n", rep.Skipped)
+	}
+	if err := regress.WriteReport(*report, rep); err != nil {
+		fatal(err)
+	}
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "sgdgate: bench gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("sgdgate: bench gate passed")
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Seeded is implemented by engines whose stochastic choices (the epoch
+// shuffle order) derive from a reseedable stream. Reseeding two engines
+// identically makes their trajectories comparable run-to-run: exactly
+// reproducible on the sequential, emulated-staleness and simulated-GPU
+// paths, and drawn from the same shuffle distribution when goroutines
+// genuinely race.
+type Seeded interface {
+	// SetShuffleSeed reseeds the engine's stochastic stream.
+	SetShuffleSeed(seed int64)
+}
+
+// Seed reseeds e if the engine supports it and reports whether it did.
+// Engines without a stochastic stream (the synchronous full-batch engines,
+// sequential Hogbatch) are deterministic already and return false.
+func Seed(e Engine, seed int64) bool {
+	if s, ok := e.(Seeded); ok {
+		s.SetShuffleSeed(seed)
+		return true
+	}
+	return false
+}
+
+// Fingerprint identifies one engine configuration for golden-run keying:
+// the regression harness stores recorded convergence curves under
+// Fingerprint.Key so that a golden can never be compared against a run with
+// a different engine, model, dataset, scale, thread count or seed.
+type Fingerprint struct {
+	Engine  string // Engine.Name(), e.g. "sync/cpu-par(56)"
+	Model   string // model.Model.Name(), e.g. "lr"
+	Dataset string // dataset registry name, e.g. "w8a"
+	N       int    // generated example count (the scaled size actually run)
+	Threads int    // modeled thread count (0 when the axis does not apply)
+	Seed    int64  // base seed of the run (init params + shuffle stream)
+}
+
+// String renders the fingerprint for humans and reports.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s %s/%s n=%d threads=%d seed=%d",
+		f.Engine, f.Model, f.Dataset, f.N, f.Threads, f.Seed)
+}
+
+// Key returns a filesystem-safe identifier, stable across runs: lowercase
+// with every run of non-alphanumeric characters collapsed to one dash.
+func (f Fingerprint) Key() string {
+	return fmt.Sprintf("%s_%s_%s-n%d_t%d_s%d",
+		sanitizeKey(f.Engine), sanitizeKey(f.Model), sanitizeKey(f.Dataset),
+		f.N, f.Threads, f.Seed)
+}
+
+// sanitizeKey lowercases s and collapses non-alphanumeric runs to a dash.
+func sanitizeKey(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

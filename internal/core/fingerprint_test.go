@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/model"
+)
+
+func TestFingerprintKey(t *testing.T) {
+	f := Fingerprint{
+		Engine: "async/cpu-par(56)", Model: "lr", Dataset: "w8a",
+		N: 400, Threads: 56, Seed: 3,
+	}
+	if got, want := f.Key(), "async-cpu-par-56_lr_w8a-n400_t56_s3"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// Keys must be filesystem-safe for any engine name.
+	weird := Fingerprint{Engine: "Sync//GPU  (K80)!", Model: "svm", Dataset: "real-sim", N: 64}
+	if got, want := weird.Key(), "sync-gpu-k80_svm_real-sim-n64_t0_s0"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+}
+
+func TestSeedPlumbing(t *testing.T) {
+	ds, _ := smallDataset(t, "w8a", 200)
+	m := model.NewLR(ds.D())
+	// Stochastic engines accept a seed...
+	if !Seed(NewHogwild(m, ds, 0.5, 1), 42) {
+		t.Fatal("HogwildEngine should be Seeded")
+	}
+	if !Seed(NewGPUHogwild(m, ds, 0.5), 42) {
+		t.Fatal("GPUHogwildEngine should be Seeded")
+	}
+	// ...and the deterministic full-batch engine reports that it has none.
+	if Seed(NewSync(linalg.NewCPU(1), m, ds, 0.5), 42) {
+		t.Fatal("SyncEngine has no stochastic stream; Seed should report false")
+	}
+	// Seeding two engines identically replays identical trajectories.
+	run := func() []float64 {
+		e := NewHogwild(m, ds, 0.5, 1)
+		Seed(e, 1234)
+		w := m.InitParams(1)
+		e.RunEpoch(w)
+		return w
+	}
+	expectIdentical(t, "seeded-replay", run(), run())
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Curve-comparison and quantile-envelope utilities for the regression
+// gates. Deterministic engines are gated point-by-point with CompareCurves;
+// asynchronous engines are inherently nondeterministic (HOGWILD!-style
+// races), so their goldens are quantile envelopes over repeated seeded runs
+// and the gate checks a fresh median curve against the recorded band.
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation between order statistics, ignoring NaNs. It returns NaN for
+// an empty (or all-NaN) input and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	return quantileSorted(clean, q, true)
+}
+
+// quantileSorted computes the interpolated quantile of xs, sorting first
+// when needed. xs must be NaN-free.
+func quantileSorted(xs []float64, q float64, needSort bool) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if needSort {
+		sort.Float64s(xs)
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Envelope computes per-index quantile curves over a family of curves: for
+// each index i present in at least one curve, lo[i], mid[i], hi[i] are the
+// qlo/0.5/qhi quantiles of the values the curves have at i. Curves may have
+// different lengths (an async run can diverge and stop early); indices past
+// a curve's end simply have fewer samples. NaN samples are ignored; an
+// index where every curve is NaN or absent yields NaN in all three outputs.
+func Envelope(curves [][]float64, qlo, qhi float64) (lo, mid, hi []float64) {
+	maxLen := 0
+	for _, c := range curves {
+		if len(c) > maxLen {
+			maxLen = len(c)
+		}
+	}
+	lo = make([]float64, maxLen)
+	mid = make([]float64, maxLen)
+	hi = make([]float64, maxLen)
+	col := make([]float64, 0, len(curves))
+	for i := 0; i < maxLen; i++ {
+		col = col[:0]
+		for _, c := range curves {
+			if i < len(c) && !math.IsNaN(c[i]) {
+				col = append(col, c[i])
+			}
+		}
+		sort.Float64s(col)
+		lo[i] = quantileSorted(col, qlo, false)
+		mid[i] = quantileSorted(col, 0.5, false)
+		hi[i] = quantileSorted(col, qhi, false)
+	}
+	return lo, mid, hi
+}
+
+// CurveDiff reports the outcome of a point-by-point curve comparison.
+type CurveDiff struct {
+	// OK is true when every point of got matches want within tolerance and
+	// the lengths agree.
+	OK bool
+	// Index is the first violating point (-1 when OK).
+	Index int
+	// MaxRelErr is the largest relative error observed over the compared
+	// prefix (0 for empty curves).
+	MaxRelErr float64
+	// LenGot, LenWant record the curve lengths (a mismatch is a failure).
+	LenGot, LenWant int
+}
+
+// CompareCurves checks got against want point by point: each pair must
+// satisfy |g-w| <= absTol + relTol*|w|, lengths must match, and a NaN or
+// Inf on either side at index i is a violation at i unless both sides are
+// the same non-finite value. It allocates nothing.
+func CompareCurves(got, want []float64, relTol, absTol float64) CurveDiff {
+	d := CurveDiff{OK: true, Index: -1, LenGot: len(got), LenWant: len(want)}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g, w := got[i], want[i]
+		if !isFinite(g) || !isFinite(w) {
+			// Same non-finite value (both NaN, or equal infinities) is a
+			// match: a golden recorded from a diverging run must replay.
+			if (math.IsNaN(g) && math.IsNaN(w)) || g == w {
+				continue
+			}
+			if d.OK {
+				d.OK = false
+				d.Index = i
+			}
+			d.MaxRelErr = math.Inf(1)
+			continue
+		}
+		err := math.Abs(g - w)
+		if rel := err / math.Max(math.Abs(w), 1e-300); rel > d.MaxRelErr {
+			d.MaxRelErr = rel
+		}
+		if err > absTol+relTol*math.Abs(w) && d.OK {
+			d.OK = false
+			d.Index = i
+		}
+	}
+	if len(got) != len(want) {
+		d.OK = false
+		if d.Index < 0 {
+			d.Index = n
+		}
+	}
+	return d
+}
+
+// EnvelopeDiff reports the outcome of a band-membership check.
+type EnvelopeDiff struct {
+	// OK is true when every point of curve lies inside the slack-expanded
+	// band.
+	OK bool
+	// Index is the first point outside the band (-1 when OK).
+	Index int
+	// WorstExcess is the largest distance outside the expanded band,
+	// relative to max(|mid|, 1e-12) at that index.
+	WorstExcess float64
+}
+
+// WithinEnvelope checks that curve[i] lies inside [lo[i], hi[i]] expanded
+// by a slack margin at every index: the band is widened on each side by
+// bandSlack*(hi-lo) + relSlack*|mid| (mid may be nil, disabling the
+// relative term). Indices where the band is NaN (no recorded samples) are
+// skipped; a NaN in curve at an index with a recorded band is a violation.
+// A curve longer than the band fails at the first uncovered index; a
+// shorter curve is checked over its own length. It allocates nothing.
+func WithinEnvelope(curve, lo, hi, mid []float64, bandSlack, relSlack float64) EnvelopeDiff {
+	d := EnvelopeDiff{OK: true, Index: -1}
+	for i, x := range curve {
+		if i >= len(lo) || i >= len(hi) {
+			if d.OK {
+				d.OK = false
+				d.Index = i
+			}
+			break
+		}
+		l, h := lo[i], hi[i]
+		if math.IsNaN(l) || math.IsNaN(h) {
+			continue
+		}
+		var m float64
+		if mid != nil && i < len(mid) && !math.IsNaN(mid[i]) {
+			m = mid[i]
+		}
+		margin := bandSlack*(h-l) + relSlack*math.Abs(m)
+		el, eh := l-margin, h+margin
+		if math.IsNaN(x) || x < el || x > eh {
+			var excess float64
+			if math.IsNaN(x) {
+				excess = math.Inf(1)
+			} else if x < el {
+				excess = (el - x) / math.Max(math.Abs(m), 1e-12)
+			} else {
+				excess = (x - eh) / math.Max(math.Abs(m), 1e-12)
+			}
+			if excess > d.WorstExcess {
+				d.WorstExcess = excess
+			}
+			if d.OK {
+				d.OK = false
+				d.Index = i
+			}
+		}
+	}
+	return d
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

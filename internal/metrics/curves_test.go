@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+	// NaNs are ignored; all-NaN and empty inputs yield NaN.
+	if got := Quantile([]float64{math.NaN(), 2, math.NaN(), 4}, 0.5); got != 3 {
+		t.Fatalf("NaN-tolerant median = %v, want 3", got)
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %v, want NaN", got)
+	}
+	if got := Quantile([]float64{math.NaN()}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("all-NaN quantile = %v, want NaN", got)
+	}
+}
+
+func TestEnvelopeRaggedAndNaN(t *testing.T) {
+	curves := [][]float64{
+		{1, 2, 3, 4},
+		{1, 2, 5},          // shorter curve: index 3 has fewer samples
+		{1, math.NaN(), 4}, // NaN sample ignored at index 1
+		{1, 2, math.NaN(), math.NaN()},
+	}
+	lo, mid, hi := Envelope(curves, 0, 1)
+	if len(lo) != 4 || len(mid) != 4 || len(hi) != 4 {
+		t.Fatalf("envelope length = %d/%d/%d, want 4", len(lo), len(mid), len(hi))
+	}
+	if lo[0] != 1 || hi[0] != 1 {
+		t.Fatalf("index 0: [%v, %v], want [1, 1]", lo[0], hi[0])
+	}
+	if lo[1] != 2 || hi[1] != 2 {
+		t.Fatalf("index 1 (NaN ignored): [%v, %v], want [2, 2]", lo[1], hi[1])
+	}
+	if lo[2] != 3 || hi[2] != 5 || mid[2] != 4 {
+		t.Fatalf("index 2: [%v, %v, %v], want [3, 4, 5]", lo[2], mid[2], hi[2])
+	}
+	if lo[3] != 4 || hi[3] != 4 {
+		t.Fatalf("index 3 (single sample): [%v, %v], want [4, 4]", lo[3], hi[3])
+	}
+	// An index where every sample is NaN yields NaN bounds.
+	lo, mid, hi = Envelope([][]float64{{math.NaN()}, {math.NaN()}}, 0.1, 0.9)
+	if !math.IsNaN(lo[0]) || !math.IsNaN(mid[0]) || !math.IsNaN(hi[0]) {
+		t.Fatalf("all-NaN column: [%v, %v, %v], want NaNs", lo[0], mid[0], hi[0])
+	}
+}
+
+func TestCompareCurves(t *testing.T) {
+	want := []float64{1, 0.5, 0.25}
+	if d := CompareCurves([]float64{1, 0.5, 0.25}, want, 0, 0); !d.OK {
+		t.Fatalf("identical curves: %+v", d)
+	}
+	// Tolerance edge: error below absTol+relTol*|w| passes, above fails.
+	got := []float64{1, 0.5 + 0.5*0.5e-9, 0.25}
+	if d := CompareCurves(got, want, 1e-9, 0); !d.OK {
+		t.Fatalf("error below tolerance should pass: %+v", d)
+	}
+	got[1] = 0.5 + 0.5*3e-9
+	d := CompareCurves(got, want, 1e-9, 0)
+	if d.OK || d.Index != 1 {
+		t.Fatalf("error above tolerance: %+v", d)
+	}
+	if d.MaxRelErr < 2e-9 || d.MaxRelErr > 4e-9 {
+		t.Fatalf("MaxRelErr = %v, want ~3e-9", d.MaxRelErr)
+	}
+	// Length mismatch fails even when the common prefix matches.
+	if d := CompareCurves([]float64{1, 0.5}, want, 1e-9, 0); d.OK || d.Index != 2 {
+		t.Fatalf("length mismatch: %+v", d)
+	}
+	// NaN on one side is a violation; on both sides a match (a recorded
+	// divergence must replay as a divergence).
+	if d := CompareCurves([]float64{1, math.NaN()}, []float64{1, 0.5}, 1e-9, 0); d.OK || d.Index != 1 {
+		t.Fatalf("NaN vs finite: %+v", d)
+	}
+	if d := CompareCurves([]float64{1, math.NaN()}, []float64{1, math.NaN()}, 0, 0); !d.OK {
+		t.Fatalf("NaN vs NaN should match: %+v", d)
+	}
+	if d := CompareCurves([]float64{math.Inf(1)}, []float64{math.Inf(1)}, 0, 0); !d.OK {
+		t.Fatalf("+Inf vs +Inf should match: %+v", d)
+	}
+	if d := CompareCurves([]float64{math.Inf(1)}, []float64{math.Inf(-1)}, 0, 0); d.OK {
+		t.Fatalf("+Inf vs -Inf should fail: %+v", d)
+	}
+	// Empty curves agree.
+	if d := CompareCurves(nil, nil, 0, 0); !d.OK || d.MaxRelErr != 0 {
+		t.Fatalf("empty curves: %+v", d)
+	}
+}
+
+func TestWithinEnvelope(t *testing.T) {
+	lo := []float64{1, 1, 1}
+	hi := []float64{2, 2, 2}
+	mid := []float64{1.5, 1.5, 1.5}
+	if d := WithinEnvelope([]float64{1.5, 1.0, 2.0}, lo, hi, mid, 0, 0); !d.OK {
+		t.Fatalf("inside band: %+v", d)
+	}
+	d := WithinEnvelope([]float64{1.5, 0.4, 1.5}, lo, hi, mid, 0, 0)
+	if d.OK || d.Index != 1 || d.WorstExcess <= 0 {
+		t.Fatalf("below band: %+v", d)
+	}
+	// Band slack expands by a fraction of the band width (width 1 here):
+	// 0.4 is 0.6 below lo, so slack 0.5 still fails but 0.7 passes.
+	if d := WithinEnvelope([]float64{1.5, 0.4, 1.5}, lo, hi, mid, 0.5, 0); d.OK {
+		t.Fatalf("slack 0.5 should still fail: %+v", d)
+	}
+	if d := WithinEnvelope([]float64{1.5, 0.4, 1.5}, lo, hi, mid, 0.7, 0); !d.OK {
+		t.Fatalf("slack 0.7 should pass: %+v", d)
+	}
+	// Relative slack expands by a fraction of |mid|.
+	if d := WithinEnvelope([]float64{2.2, 1.5, 1.5}, lo, hi, mid, 0, 0.2); !d.OK {
+		t.Fatalf("rel slack 0.2 should pass 2.2: %+v", d)
+	}
+	// NaN band indices are skipped; NaN curve values inside a recorded
+	// band are violations.
+	nanLo := []float64{math.NaN(), 1}
+	nanHi := []float64{math.NaN(), 2}
+	if d := WithinEnvelope([]float64{99, 1.5}, nanLo, nanHi, nil, 0, 0); !d.OK {
+		t.Fatalf("NaN band index should be skipped: %+v", d)
+	}
+	if d := WithinEnvelope([]float64{1.5, math.NaN()}, lo, hi, nil, 0, 0); d.OK || d.Index != 1 {
+		t.Fatalf("NaN curve value: %+v", d)
+	}
+	// A curve longer than the band fails at the first uncovered index; a
+	// shorter curve is checked over its own length.
+	if d := WithinEnvelope([]float64{1.5, 1.5, 1.5, 1.5}, lo, hi, mid, 0, 0); d.OK || d.Index != 3 {
+		t.Fatalf("longer curve: %+v", d)
+	}
+	if d := WithinEnvelope([]float64{1.5}, lo, hi, mid, 0, 0); !d.OK {
+		t.Fatalf("shorter curve: %+v", d)
+	}
+}
+
+// The gate comparisons run in CI on every PR; they must not allocate.
+func TestComparisonAllocs(t *testing.T) {
+	got := make([]float64, 256)
+	want := make([]float64, 256)
+	lo := make([]float64, 256)
+	hi := make([]float64, 256)
+	for i := range got {
+		got[i] = 1 + float64(i)
+		want[i] = got[i]
+		lo[i], hi[i] = got[i]-1, got[i]+1
+	}
+	if a := testing.AllocsPerRun(20, func() { CompareCurves(got, want, 1e-9, 0) }); a != 0 {
+		t.Fatalf("CompareCurves allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { WithinEnvelope(got, lo, hi, want, 0.5, 0.02) }); a != 0 {
+		t.Fatalf("WithinEnvelope allocates %v/op, want 0", a)
+	}
+}

@@ -1,0 +1,226 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The performance gate diffs a fresh cmd/epochbench report against the
+// committed BENCH_baseline.json. It is noise-aware by construction:
+//
+//   - allocation counts are deterministic, so the allocations PR 2 drove to
+//     zero are gated exactly;
+//   - dimensionless invariants (pool-vs-spawn speedup, partition skew) are
+//     machine-independent and gated against absolute thresholds;
+//   - wall-clock ns/op metrics are compared as new/baseline ratios with
+//     generous per-metric thresholds, and only when the two reports are
+//     comparable (same GOOS/GOARCH and the same -short size class) —
+//     otherwise those checks are reported as skipped instead of producing
+//     cross-machine noise failures.
+
+// BenchRuleKind selects how a metric is checked.
+type BenchRuleKind string
+
+const (
+	// RuleExact requires the fresh value to equal Value exactly
+	// (allocation counts pinned at zero).
+	RuleExact BenchRuleKind = "exact"
+	// RuleMax requires the fresh value <= Value.
+	RuleMax BenchRuleKind = "max"
+	// RuleMin requires the fresh value >= Value.
+	RuleMin BenchRuleKind = "min"
+	// RuleRatio requires fresh/baseline <= Value; applied only when the
+	// reports are comparable.
+	RuleRatio BenchRuleKind = "ratio"
+)
+
+// BenchRule gates one metric of the epochbench report, addressed by its
+// dotted JSON path.
+type BenchRule struct {
+	Metric string        `json:"metric"`
+	Kind   BenchRuleKind `json:"kind"`
+	Value  float64       `json:"value"`
+}
+
+// DefaultBenchRules is the committed threshold table for BENCH_epoch.json.
+func DefaultBenchRules() []BenchRule {
+	return []BenchRule{
+		// Allocation counts PR 2 pinned: exactly zero, on any machine.
+		{Metric: "small_kernel_epoch.pool_allocs_op", Kind: RuleExact, Value: 0},
+		{Metric: "steady_state_allocs_per_op.lr_batchgrad", Kind: RuleExact, Value: 0},
+		{Metric: "steady_state_allocs_per_op.svm_batchgrad", Kind: RuleExact, Value: 0},
+		{Metric: "steady_state_allocs_per_op.spmvt", Kind: RuleExact, Value: 0},
+		// Dimensionless invariants of the epoch-path engineering.
+		{Metric: "small_kernel_epoch.speedup", Kind: RuleMin, Value: 1.5},
+		{Metric: "spmv.skew_balanced", Kind: RuleMax, Value: 1.15},
+		{Metric: "spmvt.skew_balanced", Kind: RuleMax, Value: 1.15},
+		// Wall-clock regressions, ratio vs baseline on comparable runs.
+		{Metric: "small_kernel_epoch.pool_ns_op", Kind: RuleRatio, Value: 2.0},
+		{Metric: "spmv.balanced_ns_op", Kind: RuleRatio, Value: 2.0},
+		{Metric: "spmvt.balanced_ns_op", Kind: RuleRatio, Value: 2.0},
+		{Metric: "builder_build_ns_op", Kind: RuleRatio, Value: 2.0},
+	}
+}
+
+// BenchCheck is one rule's outcome.
+type BenchCheck struct {
+	Metric   string        `json:"metric"`
+	Kind     BenchRuleKind `json:"kind"`
+	Limit    float64       `json:"limit"`
+	Baseline float64       `json:"baseline,omitempty"`
+	New      float64       `json:"new"`
+	Ratio    float64       `json:"ratio,omitempty"`
+	Status   Status        `json:"status"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// BenchReport is the perf gate's machine-readable outcome.
+type BenchReport struct {
+	BaselinePath string       `json:"baseline_path"`
+	NewPath      string       `json:"new_path"`
+	Comparable   bool         `json:"comparable"`
+	Skipped      string       `json:"skipped_reason,omitempty"`
+	Checks       []BenchCheck `json:"checks"`
+	Pass         bool         `json:"pass"`
+}
+
+// benchSkipped marks skipped ratio checks; it is not a failure status.
+const benchSkipped Status = "skip"
+
+// CompareBench gates the fresh report against the baseline under the rules
+// (nil = DefaultBenchRules). Both arguments are raw BENCH_epoch.json bytes.
+func CompareBench(baseline, fresh []byte, rules []BenchRule) (BenchReport, error) {
+	if rules == nil {
+		rules = DefaultBenchRules()
+	}
+	var base, cur map[string]any
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return BenchReport{}, fmt.Errorf("regress: baseline report: %w", err)
+	}
+	if err := json.Unmarshal(fresh, &cur); err != nil {
+		return BenchReport{}, fmt.Errorf("regress: fresh report: %w", err)
+	}
+	rep := BenchReport{Pass: true}
+	rep.Comparable, rep.Skipped = comparableReports(base, cur)
+	for _, r := range rules {
+		c := BenchCheck{Metric: r.Metric, Kind: r.Kind, Limit: r.Value}
+		nv, ok := lookupNumber(cur, r.Metric)
+		if !ok {
+			c.Status = StatusFail
+			c.Detail = "metric missing from fresh report (schema drift?)"
+			rep.Pass = false
+			rep.Checks = append(rep.Checks, c)
+			continue
+		}
+		c.New = nv
+		switch r.Kind {
+		case RuleExact:
+			if nv == r.Value {
+				c.Status = StatusPass
+			} else {
+				c.Status = StatusFail
+				c.Detail = fmt.Sprintf("got %v, pinned at exactly %v", nv, r.Value)
+			}
+		case RuleMax:
+			if nv <= r.Value {
+				c.Status = StatusPass
+			} else {
+				c.Status = StatusFail
+				c.Detail = fmt.Sprintf("got %v > max %v", nv, r.Value)
+			}
+		case RuleMin:
+			if nv >= r.Value {
+				c.Status = StatusPass
+			} else {
+				c.Status = StatusFail
+				c.Detail = fmt.Sprintf("got %v < min %v", nv, r.Value)
+			}
+		case RuleRatio:
+			bv, ok := lookupNumber(base, r.Metric)
+			if !ok {
+				c.Status = StatusFail
+				c.Detail = "metric missing from baseline report"
+				break
+			}
+			c.Baseline = bv
+			if !rep.Comparable {
+				c.Status = benchSkipped
+				c.Detail = "reports not comparable: " + rep.Skipped
+				break
+			}
+			if bv <= 0 {
+				c.Status = benchSkipped
+				c.Detail = "baseline value is zero"
+				break
+			}
+			c.Ratio = nv / bv
+			if c.Ratio <= r.Value {
+				c.Status = StatusPass
+			} else {
+				c.Status = StatusFail
+				c.Detail = fmt.Sprintf("%.0f -> %.0f ns/op is %.2fx baseline (threshold %.2fx)",
+					bv, nv, c.Ratio, r.Value)
+			}
+		default:
+			c.Status = StatusFail
+			c.Detail = fmt.Sprintf("unknown rule kind %q", r.Kind)
+		}
+		if c.Status == StatusFail {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep, nil
+}
+
+// CompareBenchFiles is CompareBench over files, recording the paths in the
+// report.
+func CompareBenchFiles(baselinePath, freshPath string, rules []BenchRule) (BenchReport, error) {
+	base, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	cur, err := os.ReadFile(freshPath)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep, err := CompareBench(base, cur, rules)
+	rep.BaselinePath, rep.NewPath = baselinePath, freshPath
+	return rep, err
+}
+
+// comparableReports decides whether wall-clock ratios between the two
+// reports are meaningful: same OS/architecture and the same -short size
+// class (a -short run measures different problem sizes, so its ns/op are a
+// different quantity, not a noisy version of the same one).
+func comparableReports(base, cur map[string]any) (bool, string) {
+	var reasons []string
+	for _, k := range []string{"goos", "goarch", "short"} {
+		if fmt.Sprint(base[k]) != fmt.Sprint(cur[k]) {
+			reasons = append(reasons, fmt.Sprintf("%s %v != %v", k, base[k], cur[k]))
+		}
+	}
+	if len(reasons) > 0 {
+		return false, strings.Join(reasons, "; ")
+	}
+	return true, ""
+}
+
+// lookupNumber resolves a dotted path to a float64 in decoded JSON.
+func lookupNumber(m map[string]any, path string) (float64, bool) {
+	cur := any(m)
+	for _, part := range strings.Split(path, ".") {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		cur, ok = obj[part]
+		if !ok {
+			return 0, false
+		}
+	}
+	v, ok := cur.(float64)
+	return v, ok
+}

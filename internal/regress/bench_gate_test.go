@@ -1,0 +1,130 @@
+package regress
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchJSON renders a minimal epochbench-shaped report.
+func benchJSON(short bool, poolAllocs int, speedup, skew float64, poolNs int) []byte {
+	return fmt.Appendf(nil, `{
+		"goos": "linux", "goarch": "amd64", "short": %v,
+		"small_kernel_epoch": {"pool_ns_op": %d, "spawn_ns_op": 400000,
+			"speedup": %g, "pool_allocs_op": %d, "spawn_allocs_op": 2560},
+		"spmv": {"balanced_ns_op": 1300000, "even_ns_op": 1260000, "skew_balanced": %g, "skew_even": 1.07},
+		"spmvt": {"balanced_ns_op": 1280000, "even_ns_op": 1160000, "skew_balanced": %g, "skew_even": 1.07},
+		"steady_state_allocs_per_op": {"lr_batchgrad": 0, "svm_batchgrad": 0, "spmvt": 0},
+		"builder_build_ns_op": 9000000
+	}`, short, poolNs, speedup, poolAllocs, skew, skew)
+}
+
+func healthy(short bool) []byte { return benchJSON(short, 0, 6.2, 1.01, 67000) }
+
+func TestBenchComparePasses(t *testing.T) {
+	rep, err := CompareBench(healthy(false), healthy(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || !rep.Comparable {
+		t.Fatalf("healthy report failed: %+v", rep)
+	}
+}
+
+func TestBenchCompareAllocRegressionFails(t *testing.T) {
+	// One allocation per op where PR 2 pinned zero must fail exactly.
+	rep, err := CompareBench(healthy(false), benchJSON(false, 1, 6.2, 1.01, 67000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("alloc regression passed: %+v", rep)
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c.Metric == "small_kernel_epoch.pool_allocs_op" && c.Status == StatusFail {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failing alloc check in %+v", rep.Checks)
+	}
+}
+
+func TestBenchCompareTimeRegression(t *testing.T) {
+	// 1.9x slower pool dispatch is inside the 2x noise threshold...
+	rep, err := CompareBench(healthy(false), benchJSON(false, 0, 6.2, 1.01, 127000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("1.9x should pass the noise-aware threshold: %+v", rep)
+	}
+	// ...but 3x is a real regression.
+	rep, err = CompareBench(healthy(false), benchJSON(false, 0, 6.2, 1.01, 201000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("3x pool_ns_op regression passed: %+v", rep)
+	}
+}
+
+func TestBenchCompareIncomparableSkipsRatios(t *testing.T) {
+	// A -short CI run against the committed full-size baseline measures
+	// different problem sizes: wall-clock ratios are skipped, while exact
+	// and dimensionless gates still apply.
+	rep, err := CompareBench(healthy(false), benchJSON(true, 0, 6.2, 1.01, 9000000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Comparable {
+		t.Fatal("short vs full should be incomparable")
+	}
+	if !rep.Pass {
+		t.Fatalf("skipped ratios must not fail the gate: %+v", rep)
+	}
+	for _, c := range rep.Checks {
+		if c.Kind == RuleRatio && c.Status != benchSkipped {
+			t.Fatalf("ratio check not skipped: %+v", c)
+		}
+	}
+	// Dimensionless invariants still gate incomparable runs.
+	rep, err = CompareBench(healthy(false), benchJSON(true, 0, 1.1, 1.01, 9000000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("speedup collapse must fail even on incomparable runs: %+v", rep)
+	}
+}
+
+func TestBenchCompareMissingMetricFails(t *testing.T) {
+	rep, err := CompareBench(healthy(false), []byte(`{"goos":"linux","goarch":"amd64","short":false}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("schema drift passed: %+v", rep)
+	}
+}
+
+func TestBenchCompareRejectsMalformedJSON(t *testing.T) {
+	if _, err := CompareBench([]byte("{"), healthy(false), nil); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	if _, err := CompareBench(healthy(false), []byte("nope"), nil); err == nil {
+		t.Fatal("malformed fresh report accepted")
+	}
+}
+
+func TestLookupNumber(t *testing.T) {
+	m := map[string]any{"a": map[string]any{"b": 2.5}, "s": "x"}
+	if v, ok := lookupNumber(m, "a.b"); !ok || v != 2.5 {
+		t.Fatalf("a.b = %v, %v", v, ok)
+	}
+	for _, path := range []string{"a.c", "a.b.c", "s.x", "z"} {
+		if _, ok := lookupNumber(m, path); ok {
+			t.Fatalf("path %q unexpectedly resolved", path)
+		}
+	}
+}

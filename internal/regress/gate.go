@@ -1,0 +1,184 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Status is the outcome of one gate check.
+type Status string
+
+const (
+	StatusPass    Status = "pass"
+	StatusFail    Status = "fail"
+	StatusMissing Status = "missing" // no committed golden for the config
+	StatusError   Status = "error"   // the config could not be executed
+)
+
+// Result is one config's gate outcome in the machine-readable report.
+type Result struct {
+	Key         string  `json:"key"`
+	Fingerprint string  `json:"fingerprint"`
+	Kind        Kind    `json:"kind,omitempty"`
+	Status      Status  `json:"status"`
+	Detail      string  `json:"detail,omitempty"`
+	FailIndex   int     `json:"fail_index,omitempty"`
+	MaxRelErr   float64 `json:"max_rel_err,omitempty"`
+	FinalLoss   float64 `json:"final_loss,omitempty"`
+	SecPerEpoch float64 `json:"sec_per_epoch,omitempty"`
+}
+
+// Report is the full gate outcome, written as JSON for CI artifacts.
+type Report struct {
+	GoldenDir string   `json:"golden_dir"`
+	Results   []Result `json:"results"`
+	Pass      bool     `json:"pass"`
+}
+
+// Compare executes the config and checks it against its golden.
+func Compare(c Config, g Golden) Result {
+	res := Result{Key: g.Key, Fingerprint: c.Fingerprint().String(), Kind: g.Kind}
+	runs, err := RunSeeds(c)
+	if err != nil {
+		res.Status = StatusError
+		res.Detail = err.Error()
+		return res
+	}
+	switch g.Kind {
+	case KindGolden:
+		return compareGolden(res, runs[0], g)
+	case KindEnvelope:
+		return compareEnvelope(res, runs, g)
+	default:
+		res.Status = StatusError
+		res.Detail = fmt.Sprintf("unknown golden kind %q", g.Kind)
+		return res
+	}
+}
+
+func compareGolden(res Result, run RunOutcome, g Golden) Result {
+	relTol, absTol := orDefault(g.RelTol, DefaultRelTol), orDefault(g.AbsTol, DefaultAbsTol)
+	res.FinalLoss = run.Losses[len(run.Losses)-1]
+	res.SecPerEpoch = run.SecPerEpoch
+	d := metrics.CompareCurves(run.Losses, g.Losses, relTol, absTol)
+	res.MaxRelErr = d.MaxRelErr
+	if !d.OK {
+		res.Status = StatusFail
+		res.FailIndex = d.Index
+		if d.LenGot != d.LenWant {
+			res.Detail = fmt.Sprintf("curve length %d != golden %d", d.LenGot, d.LenWant)
+		} else {
+			res.Detail = fmt.Sprintf("loss diverges from golden at epoch %d (max rel err %.3g > tol %.3g)",
+				d.Index, d.MaxRelErr, relTol)
+		}
+		return res
+	}
+	secTol := orDefault(g.SecRelTol, DefaultSecRelTol)
+	if g.SecPerEpoch > 0 && math.Abs(run.SecPerEpoch-g.SecPerEpoch) > secTol*g.SecPerEpoch {
+		res.Status = StatusFail
+		res.Detail = fmt.Sprintf("modeled sec/epoch %.6g differs from golden %.6g beyond rel tol %.1g (cost-model change: regenerate goldens if intended)",
+			run.SecPerEpoch, g.SecPerEpoch, secTol)
+		return res
+	}
+	res.Status = StatusPass
+	return res
+}
+
+func compareEnvelope(res Result, runs []RunOutcome, g Golden) Result {
+	curves := make([][]float64, len(runs))
+	for i, r := range runs {
+		curves[i] = r.Losses
+	}
+	_, med, _ := metrics.Envelope(curves, 0.10, 0.90)
+	res.FinalLoss = med[len(med)-1]
+	res.SecPerEpoch = runs[0].SecPerEpoch
+	bandSlack := orDefault(g.BandSlack, DefaultBandSlack)
+	relSlack := orDefault(g.RelSlack, DefaultRelSlack)
+	d := metrics.WithinEnvelope(med, g.P10, g.P90, g.P50, bandSlack, relSlack)
+	res.MaxRelErr = d.WorstExcess
+	if !d.OK {
+		res.Status = StatusFail
+		res.FailIndex = d.Index
+		res.Detail = fmt.Sprintf("median loss leaves the recorded p10-p90 band at epoch %d (excess %.3g of median)",
+			d.Index, d.WorstExcess)
+		return res
+	}
+	finalTol := orDefault(g.FinalRelTol, DefaultFinalRelTol)
+	final := med[len(med)-1]
+	if math.Abs(final-g.FinalMedian) > finalTol*math.Max(math.Abs(g.FinalMedian), 1e-12) {
+		res.Status = StatusFail
+		res.FailIndex = len(med) - 1
+		res.Detail = fmt.Sprintf("final median loss %.6g outside rel tol %.2g of recorded %.6g",
+			final, finalTol, g.FinalMedian)
+		return res
+	}
+	res.Status = StatusPass
+	return res
+}
+
+// Gate runs every config against the goldens in dir and aggregates the
+// report. A missing golden is a failure (the matrix must stay fully
+// covered); an execution error fails too.
+func Gate(dir string, configs []Config) Report {
+	rep := Report{GoldenDir: dir, Pass: true}
+	for _, c := range configs {
+		key := c.Fingerprint().Key()
+		g, err := Load(dir, key)
+		if err != nil {
+			st := StatusError
+			if os.IsNotExist(err) {
+				st = StatusMissing
+				err = fmt.Errorf("no committed golden: run sgdgate compare -update")
+			}
+			rep.Results = append(rep.Results, Result{
+				Key: key, Fingerprint: c.Fingerprint().String(), Status: st, Detail: err.Error(),
+			})
+			rep.Pass = false
+			continue
+		}
+		res := Compare(c, g)
+		if res.Status != StatusPass {
+			rep.Pass = false
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// Update re-records every config's golden into dir.
+func Update(dir string, configs []Config) error {
+	for _, c := range configs {
+		g, err := Record(c)
+		if err != nil {
+			return fmt.Errorf("regress: record %s: %w", c.Fingerprint().Key(), err)
+		}
+		if err := Save(dir, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReport marshals the report to path ("" skips writing).
+func WriteReport(path string, rep any) error {
+	if path == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// orDefault substitutes def for an unset (zero) tolerance.
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

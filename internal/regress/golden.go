@@ -1,0 +1,124 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// Kind distinguishes the two golden disciplines.
+type Kind string
+
+const (
+	// KindGolden is an exact (tight-tolerance) recorded curve for a
+	// deterministic configuration.
+	KindGolden Kind = "golden"
+	// KindEnvelope is a quantile band over seeded repetitions for an
+	// asynchronous configuration.
+	KindEnvelope Kind = "envelope"
+)
+
+// Default gate tolerances. Deterministic replays are bitwise on a fixed
+// host; the tight relative tolerance only absorbs libm differences across
+// Go releases and architectures, while any real change to an update rule
+// moves losses by many orders of magnitude more within an epoch or two.
+const (
+	DefaultRelTol    = 1e-9
+	DefaultAbsTol    = 1e-12
+	DefaultSecRelTol = 1e-6
+	// Envelope gates: the recorded p10–p90 band is widened by
+	// DefaultBandSlack of its own width plus DefaultRelSlack of the median
+	// on each side, and the final median loss must be within
+	// DefaultFinalRelTol of the recorded one.
+	DefaultBandSlack   = 0.5
+	DefaultRelSlack    = 0.02
+	DefaultFinalRelTol = 0.05
+)
+
+// Golden is one committed reference, stored as
+// testdata/golden/<fingerprint-key>.json.
+type Golden struct {
+	Key    string `json:"key"`
+	Kind   Kind   `json:"kind"`
+	Config Config `json:"config"`
+
+	// Deterministic golden: the recorded curve and modeled epoch time with
+	// their gate tolerances.
+	Losses      []float64 `json:"losses,omitempty"`
+	SecPerEpoch float64   `json:"sec_per_epoch,omitempty"`
+	RelTol      float64   `json:"rel_tol,omitempty"`
+	AbsTol      float64   `json:"abs_tol,omitempty"`
+	SecRelTol   float64   `json:"sec_rel_tol,omitempty"`
+
+	// Envelope golden: per-epoch quantile curves over Config.Seeds seeded
+	// runs, with the band-expansion slacks and the final-loss tolerance.
+	P10         []float64 `json:"p10,omitempty"`
+	P50         []float64 `json:"p50,omitempty"`
+	P90         []float64 `json:"p90,omitempty"`
+	BandSlack   float64   `json:"band_slack,omitempty"`
+	RelSlack    float64   `json:"rel_slack,omitempty"`
+	FinalMedian float64   `json:"final_median,omitempty"`
+	FinalRelTol float64   `json:"final_rel_tol,omitempty"`
+}
+
+// Record executes the config and produces its golden: a single recorded
+// curve for deterministic configs, a quantile envelope over seeded
+// repetitions otherwise.
+func Record(c Config) (Golden, error) {
+	runs, err := RunSeeds(c)
+	if err != nil {
+		return Golden{}, err
+	}
+	g := Golden{Key: c.Fingerprint().Key(), Config: c}
+	if c.Deterministic() {
+		g.Kind = KindGolden
+		g.Losses = runs[0].Losses
+		g.SecPerEpoch = runs[0].SecPerEpoch
+		g.RelTol, g.AbsTol, g.SecRelTol = DefaultRelTol, DefaultAbsTol, DefaultSecRelTol
+		return g, nil
+	}
+	g.Kind = KindEnvelope
+	curves := make([][]float64, len(runs))
+	for i, r := range runs {
+		curves[i] = r.Losses
+	}
+	g.P10, g.P50, g.P90 = metrics.Envelope(curves, 0.10, 0.90)
+	g.FinalMedian = g.P50[len(g.P50)-1]
+	g.BandSlack, g.RelSlack, g.FinalRelTol = DefaultBandSlack, DefaultRelSlack, DefaultFinalRelTol
+	return g, nil
+}
+
+// Path returns the golden file path for key under dir.
+func Path(dir, key string) string { return filepath.Join(dir, key+".json") }
+
+// Save writes the golden under dir, creating the directory if needed.
+func Save(dir string, g Golden) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(Path(dir, g.Key), buf, 0o644)
+}
+
+// Load reads the golden for key from dir.
+func Load(dir, key string) (Golden, error) {
+	buf, err := os.ReadFile(Path(dir, key))
+	if err != nil {
+		return Golden{}, err
+	}
+	var g Golden
+	if err := json.Unmarshal(buf, &g); err != nil {
+		return Golden{}, fmt.Errorf("regress: %s: %w", Path(dir, key), err)
+	}
+	if g.Key != key {
+		return Golden{}, fmt.Errorf("regress: %s: key %q does not match filename", Path(dir, key), g.Key)
+	}
+	return g, nil
+}

@@ -1,0 +1,55 @@
+package regress
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// RunOutcome is one seeded execution of a config: the per-epoch loss curve
+// (index 0 is the initial loss before any update) and the mean modeled
+// seconds per epoch.
+type RunOutcome struct {
+	Seed        int64     `json:"seed"`
+	Losses      []float64 `json:"losses"`
+	SecPerEpoch float64   `json:"sec_per_epoch"`
+}
+
+// RunSeed executes the config once under the given seed: the model is
+// initialised from the seed and the engine's shuffle stream (when it has
+// one) is reseeded with it, so deterministic paths replay exactly and
+// stochastic paths draw a fresh, reproducible permutation stream.
+func RunSeed(c Config, seed int64) (RunOutcome, error) {
+	e, m, ds, err := c.Build()
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	core.Seed(e, seed)
+	w := m.InitParams(seed)
+	out := RunOutcome{Seed: seed, Losses: make([]float64, 0, c.Epochs+1)}
+	out.Losses = append(out.Losses, model.MeanLoss(m, w, ds))
+	var elapsed float64
+	for ep := 0; ep < c.Epochs; ep++ {
+		elapsed += e.RunEpoch(w)
+		out.Losses = append(out.Losses, model.MeanLoss(m, w, ds))
+	}
+	out.SecPerEpoch = elapsed / float64(c.Epochs)
+	return out, nil
+}
+
+// RunSeeds executes the config under c.Seeds consecutive seeds starting at
+// c.BaseSeed (deterministic configs run only the base seed).
+func RunSeeds(c Config) ([]RunOutcome, error) {
+	seeds := c.Seeds
+	if c.Deterministic() || seeds < 1 {
+		seeds = 1
+	}
+	out := make([]RunOutcome, 0, seeds)
+	for k := 0; k < seeds; k++ {
+		r, err := RunSeed(c, c.BaseSeed+int64(k))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
