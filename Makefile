@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -71,3 +71,19 @@ bench-compare:
 # bench-paper regenerates the paper's tables at a small scale with a trace.
 bench-paper:
 	$(GO) run ./cmd/sgdbench -experiment table2,table3 -maxn 1000 -trace run.jsonl -obs
+
+# chaos runs the 8-engine matrix under the storm fault plan on the
+# virtual-time scheduler and writes the degradation report: the paper's
+# sync-fragile/async-robust contrast as a JSON artifact. Pick other plans
+# with CHAOS_PLAN (see `go run ./cmd/sgdchaos -list`).
+CHAOS_PLAN ?= storm
+chaos:
+	$(GO) run ./cmd/sgdchaos -plan $(CHAOS_PLAN) -out chaos-report.json
+
+# fuzz exercises the input-boundary fuzz targets for a bounded time each.
+# The minimize budget is capped: on a small box, minimizing a multi-KB
+# interesting input can otherwise consume the entire fuzz budget.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzReadLIBSVM -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/data
+	$(GO) test -fuzz FuzzCSRBuilder -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/sparse

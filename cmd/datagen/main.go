@@ -13,19 +13,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/data"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name = flag.String("dataset", "", "dataset name (covtype|w8a|real-sim|rcv1|news); empty = stats for all")
-		maxN = flag.Int("maxn", 4000, "cap on generated examples (0 = full Table I size)")
-		mlp  = flag.Bool("mlp", false, "apply the MLP feature-grouping transform")
-		out  = flag.String("o", "", "write LIBSVM to this file")
+		name = fs.String("dataset", "", "dataset name (covtype|w8a|real-sim|rcv1|news); empty = stats for all")
+		maxN = fs.Int("maxn", 4000, "cap on generated examples (0 = full Table I size)")
+		mlp  = fs.Bool("mlp", false, "apply the MLP feature-grouping transform")
+		out  = fs.String("o", "", "write LIBSVM to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	names := data.Names()
 	if *name != "" {
@@ -34,8 +43,8 @@ func main() {
 	for _, n := range names {
 		spec, err := data.Lookup(n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		gen := spec
 		if *maxN > 0 {
@@ -45,30 +54,32 @@ func main() {
 		if *mlp {
 			ds, err = data.ForMLP(ds, spec)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
 		if err := ds.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "generated dataset invalid:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "generated dataset invalid:", err)
+			return 1
 		}
-		fmt.Println(data.ComputeStats(ds).String(), "mlp-arch:", spec.ArchString())
+		fmt.Fprintln(stdout, data.ComputeStats(ds).String(), "mlp-arch:", spec.ArchString())
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			if err := data.WriteLIBSVM(f, ds); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				f.Close()
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			fmt.Printf("wrote %s (%d examples)\n", *out, ds.N())
+			fmt.Fprintf(stdout, "wrote %s (%d examples)\n", *out, ds.N())
 		}
 	}
+	return 0
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestRunStatsAndLIBSVM(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w8a.libsvm")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dataset", "w8a", "-maxn", "200", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "w8a") {
+		t.Errorf("stats line missing dataset name:\n%s", stdout.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := data.ReadLIBSVM(f, "w8a", 0)
+	if err != nil {
+		t.Fatalf("written LIBSVM does not round-trip: %v", err)
+	}
+	if ds.N() != 200 {
+		t.Errorf("round-tripped %d examples, want 200", ds.N())
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-maxn", "120"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Count(strings.TrimSpace(stdout.String()), "\n") + 1
+	if want := len(data.Names()); lines != want {
+		t.Errorf("got %d stats lines, want one per dataset (%d)", lines, want)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dataset", "nosuchdataset"},
+		{"-badflag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}

@@ -14,9 +14,13 @@
 // come from the cost models and are shape-functions only. This suite tracks
 // how fast the host harness itself runs.
 //
-// Usage: epochbench [-short] [-out BENCH_epoch.json] [-procs 4]
+// Usage: epochbench [-short] [-tiny] [-out BENCH_epoch.json] [-procs 4]
 //
 //	[-compare BENCH_baseline.json]
+//
+// -tiny shrinks both the inputs and the benchmark time to smoke-test scale;
+// its numbers are meaningless for gating and exist so the command's whole
+// path can run in a test.
 //
 // With -compare, the fresh report is additionally diffed against the given
 // baseline under the regression-gate thresholds (see internal/regress) and
@@ -29,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -273,11 +278,10 @@ func benchSpMVT(a *sparse.CSR, parts int) partitionReport {
 	return rep
 }
 
-func measureAllocs(n int) allocsReport {
+func measureAllocs(n int) (allocsReport, error) {
 	spec, err := data.Lookup("w8a")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "epochbench:", err)
-		os.Exit(1)
+		return allocsReport{}, err
 	}
 	ds := data.Generate(spec.Scaled(float64(n) / float64(spec.N)))
 	rows := make([]int, 128)
@@ -310,7 +314,7 @@ func measureAllocs(n int) allocsReport {
 		bk.SpMVT(a, x, y)
 	}
 	rep.SpMVT = testing.AllocsPerRun(50, func() { bk.SpMVT(a, x, y) })
-	return rep
+	return rep, nil
 }
 
 func benchBuild(rows, cols int) int64 {
@@ -339,16 +343,32 @@ func benchBuild(rows, cols int) int64 {
 }
 
 func main() {
-	short := flag.Bool("short", false, "smaller matrices and fewer kernels (CI mode)")
-	out := flag.String("out", "BENCH_epoch.json", "output JSON path")
-	procs := flag.Int("procs", 4, "GOMAXPROCS for the benchmarks")
-	compare := flag.String("compare", "", "baseline report to gate against (exit 1 on regression)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epochbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	short := fs.Bool("short", false, "smaller matrices and fewer kernels (CI mode)")
+	tiny := fs.Bool("tiny", false, "smoke-test scale: minimal inputs and 10ms benchmark time (numbers meaningless)")
+	out := fs.String("out", "BENCH_epoch.json", "output JSON path")
+	procs := fs.Int("procs", 4, "GOMAXPROCS for the benchmarks")
+	compare := fs.String("compare", "", "baseline report to gate against (exit 1 on regression)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	runtime.GOMAXPROCS(*procs)
 
 	rows, cols, kernels, allocN, buildRows := 50000, 4000, 256, 2000, 30000
 	if *short {
 		rows, cols, kernels, allocN, buildRows = 10000, 1500, 64, 800, 8000
+	}
+	if *tiny {
+		rows, cols, kernels, allocN, buildRows = 1500, 400, 8, 300, 1000
+		// testing.Benchmark sizes runs by -test.benchtime; registering the
+		// testing flags (idempotent) lets us shrink it without a test binary.
+		testing.Init()
+		flag.Set("test.benchtime", "10ms")
 	}
 
 	rep := report{
@@ -357,32 +377,37 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Short:      *short,
+		Short:      *short || *tiny,
 	}
 
-	fmt.Fprintln(os.Stderr, "epochbench: dispatch (pool vs spawn)...")
+	fmt.Fprintln(stderr, "epochbench: dispatch (pool vs spawn)...")
 	rep.Dispatch = benchDispatch(kernels)
 	a := heavyTailCSR(rows, cols, 7)
-	fmt.Fprintln(os.Stderr, "epochbench: spmv (balanced vs even partitioning)...")
+	fmt.Fprintln(stderr, "epochbench: spmv (balanced vs even partitioning)...")
 	rep.SpMV = benchSpMV(a, 8)
-	fmt.Fprintln(os.Stderr, "epochbench: spmvt...")
+	fmt.Fprintln(stderr, "epochbench: spmvt...")
 	rep.SpMVT = benchSpMVT(a, 8)
-	fmt.Fprintln(os.Stderr, "epochbench: steady-state allocations...")
-	rep.Allocs = measureAllocs(allocN)
-	fmt.Fprintln(os.Stderr, "epochbench: builder build...")
+	fmt.Fprintln(stderr, "epochbench: steady-state allocations...")
+	var err error
+	rep.Allocs, err = measureAllocs(allocN)
+	if err != nil {
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "epochbench: builder build...")
 	rep.BuildNsOp = benchBuild(buildRows, 5000)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "epochbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "epochbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
 	}
-	fmt.Printf("wrote %s: pool %.2fx vs spawn (%d -> %d ns/op, %d -> %d allocs), "+
+	fmt.Fprintf(stdout, "wrote %s: pool %.2fx vs spawn (%d -> %d ns/op, %d -> %d allocs), "+
 		"spmv skew %.2f -> %.2f, spmvt %d vs %d ns/op, lr/svm batchgrad allocs %.0f/%.0f\n",
 		*out, rep.Dispatch.Speedup, rep.Dispatch.SpawnNsOp, rep.Dispatch.PoolNsOp,
 		rep.Dispatch.SpawnAllocs, rep.Dispatch.PoolAllocs,
@@ -393,18 +418,19 @@ func main() {
 	if *compare != "" {
 		gate, err := regress.CompareBenchFiles(*compare, *out, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "epochbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "epochbench:", err)
+			return 1
 		}
 		for _, c := range gate.Checks {
 			if c.Status != "pass" {
-				fmt.Printf("bench gate: %-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
+				fmt.Fprintf(stdout, "bench gate: %-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
 			}
 		}
 		if !gate.Pass {
-			fmt.Fprintln(os.Stderr, "epochbench: perf gate FAILED against", *compare)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "epochbench: perf gate FAILED against", *compare)
+			return 1
 		}
-		fmt.Println("epochbench: perf gate passed against", *compare)
+		fmt.Fprintln(stdout, "epochbench: perf gate passed against", *compare)
 	}
+	return 0
 }

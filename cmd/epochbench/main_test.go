@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	procs := strconv.Itoa(runtime.GOMAXPROCS(0))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-tiny", "-procs", procs, "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("missing summary line:\n%s", stdout.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Short {
+		t.Error("tiny report not marked short: it must never gate against a full baseline")
+	}
+	if rep.Dispatch.PoolNsOp <= 0 || rep.SpMV.BalancedNsOp <= 0 || rep.BuildNsOp <= 0 {
+		t.Errorf("benchmarks did not run: %+v", rep)
+	}
+	// The allocation pins hold at any scale: the steady-state gradient and
+	// dispatch paths are allocation-free by design.
+	if rep.Dispatch.PoolAllocs != 0 || rep.Allocs.LRBatchGrad != 0 {
+		t.Errorf("steady-state allocations appeared: %+v %+v", rep.Dispatch, rep.Allocs)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	procs := strconv.Itoa(runtime.GOMAXPROCS(0))
+	code := run([]string{"-tiny", "-procs", procs, "-out", "/nonexistent/dir/bench.json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("unwritable out: exit %d, want 1", code)
+	}
+	code = run([]string{"-tiny", "-procs", procs,
+		"-out", filepath.Join(t.TempDir(), "b.json"), "-compare", "/nonexistent/baseline.json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -20,34 +21,42 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpusim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("dataset", "covtype", "dataset name")
-		maxN    = flag.Int("maxn", 2000, "generated examples")
-		combine = flag.Bool("combine", false, "enable warp-shuffle conflict combining")
-		warpPer = flag.Bool("warp-per-example", false, "cooperative warp-per-example kernel layout")
-		shared  = flag.Bool("shared", false, "per-block shared-memory model replicas")
-		step    = flag.Float64("step", 0.1, "SGD step for the async kernel")
+		name    = fs.String("dataset", "covtype", "dataset name")
+		maxN    = fs.Int("maxn", 2000, "generated examples")
+		combine = fs.Bool("combine", false, "enable warp-shuffle conflict combining")
+		warpPer = fs.Bool("warp-per-example", false, "cooperative warp-per-example kernel layout")
+		shared  = fs.Bool("shared", false, "per-block shared-memory model replicas")
+		step    = fs.Float64("step", 0.1, "SGD step for the async kernel")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	spec, err := data.Lookup(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	ds := data.Generate(spec.Scaled(float64(*maxN) / float64(spec.N)))
 	dev := gpusim.K80()
-	fmt.Printf("device: %s — %d MPs x %d cores, %d resident warps, %.0f GB/s\n",
+	fmt.Fprintf(stdout, "device: %s — %d MPs x %d cores, %d resident warps, %.0f GB/s\n",
 		dev.Spec.Name, dev.Spec.MPs, dev.Spec.CoresPerMP,
 		dev.Spec.MaxResidentWarps(), dev.Spec.GlobalBandwidthBPS/1e9)
-	fmt.Printf("dataset: %s\n\n", data.ComputeStats(ds))
+	fmt.Fprintf(stdout, "dataset: %s\n\n", data.ComputeStats(ds))
 
 	// Synchronous kernels.
 	spmv := dev.CostSpMV(ds.X)
 	spmvT := dev.CostSpMVT(ds.X)
-	fmt.Printf("SpMV  : %10.6fs  %12d tx  %14.0f bytes  divergence x%.2f\n",
+	fmt.Fprintf(stdout, "SpMV  : %10.6fs  %12d tx  %14.0f bytes  divergence x%.2f\n",
 		spmv.Seconds, spmv.Transactions, spmv.Bytes, spmv.LockstepOps/spmv.Flops)
-	fmt.Printf("SpMV^T: %10.6fs  %12d tx  %14.0f bytes\n",
+	fmt.Fprintf(stdout, "SpMV^T: %10.6fs  %12d tx  %14.0f bytes\n",
 		spmvT.Seconds, spmvT.Transactions, spmvT.Bytes)
 
 	// Asynchronous Hogwild kernel with conflict accounting.
@@ -59,15 +68,16 @@ func main() {
 	w := m.InitParams(1)
 	sec := e.RunEpoch(w)
 	st := e.LastStats()
-	fmt.Printf("\nasync epoch: %.6fs modeled (%d rounds, %d resident warps)\n",
+	fmt.Fprintf(stdout, "\nasync epoch: %.6fs modeled (%d rounds, %d resident warps)\n",
 		sec, st.Rounds, e.MaxWarps)
-	fmt.Printf("updates %d | lost intra-warp %d (%.1f%%) | lost inter-warp %d (%.1f%%) | applied %d\n",
+	fmt.Fprintf(stdout, "updates %d | lost intra-warp %d (%.1f%%) | lost inter-warp %d (%.1f%%) | applied %d\n",
 		st.Updates,
 		st.LostIntra, pct(st.LostIntra, st.Updates),
 		st.LostInter, pct(st.LostInter, st.Updates),
 		st.Applied)
-	fmt.Printf("kernel: %d tx, %.0f bytes, divergence x%.2f\n",
+	fmt.Fprintf(stdout, "kernel: %d tx, %.0f bytes, divergence x%.2f\n",
 		st.Cost.Transactions, st.Cost.Bytes, st.Cost.LockstepOps/st.Cost.Flops)
+	return 0
 }
 
 func pct(a, b int64) float64 {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsKernels(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dataset", "covtype", "-maxn", "300"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"device:", "SpMV", "async epoch", "updates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunKernelVariants(t *testing.T) {
+	for _, flagName := range []string{"-combine", "-warp-per-example", "-shared"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-dataset", "w8a", "-maxn", "300", flagName}, &stdout, &stderr)
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr:\n%s", flagName, code, stderr.String())
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dataset", "nosuchdataset"},
+		{"-badflag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -31,22 +32,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|fig6|fig7|fig8|fig9|tolsweep|all")
-		maxN       = flag.Int("maxn", 4000, "max examples generated per dataset")
-		datasets   = flag.String("datasets", "", "comma-separated dataset filter (default all)")
-		tasks      = flag.String("tasks", "", "comma-separated task filter: lr,svm,mlp (default all)")
-		epochs     = flag.Int("epochs", 300, "max epochs per convergence drive")
-		tol        = flag.Float64("tol", 0.01, "convergence tolerance relative to the optimal loss")
-		verbose    = flag.Bool("v", false, "log progress")
-		quiet      = flag.Bool("quiet", false, "suppress progress logging even with -v")
-		curveDir   = flag.String("curves", "", "directory for Fig 7 loss-curve CSVs")
-		repeats    = flag.Int("repeats", 1, "repetitions of each asynchronous drive (paper: >=10)")
-		tracePath  = flag.String("trace", "", "write a JSONL observability trace to this file (inspect with sgdtrace)")
-		obsSummary = flag.Bool("obs", false, "print per-engine phase/counter summaries after the run")
-		debugAddr  = flag.String("debug-addr", "", "serve expvar, pprof and Prometheus /metrics on this address (e.g. :6060)")
+		experiment = fs.String("experiment", "all", "table1|table2|table3|fig6|fig7|fig8|fig9|tolsweep|all")
+		maxN       = fs.Int("maxn", 4000, "max examples generated per dataset")
+		datasets   = fs.String("datasets", "", "comma-separated dataset filter (default all)")
+		tasks      = fs.String("tasks", "", "comma-separated task filter: lr,svm,mlp (default all)")
+		epochs     = fs.Int("epochs", 300, "max epochs per convergence drive")
+		tol        = fs.Float64("tol", 0.01, "convergence tolerance relative to the optimal loss")
+		verbose    = fs.Bool("v", false, "log progress")
+		quiet      = fs.Bool("quiet", false, "suppress progress logging even with -v")
+		curveDir   = fs.String("curves", "", "directory for Fig 7 loss-curve CSVs")
+		repeats    = fs.Int("repeats", 1, "repetitions of each asynchronous drive (paper: >=10)")
+		tracePath  = fs.String("trace", "", "write a JSONL observability trace to this file (inspect with sgdtrace)")
+		obsSummary = fs.Bool("obs", false, "print per-engine phase/counter summaries after the run")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar, pprof and Prometheus /metrics on this address (e.g. :6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	opts := bench.Options{
 		MaxN:      *maxN,
@@ -54,7 +63,7 @@ func main() {
 		Tol:       *tol,
 		Verbose:   *verbose,
 		Quiet:     *quiet,
-		Out:       os.Stdout,
+		Out:       stdout,
 		CurveDir:  *curveDir,
 		Repeats:   *repeats,
 		TracePath: *tracePath,
@@ -70,8 +79,8 @@ func main() {
 		// harness panic; New reopens (and truncates) the same file.
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sgdbench: cannot create trace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sgdbench: cannot create trace: %v\n", err)
+			return 1
 		}
 		f.Close()
 	}
@@ -80,19 +89,23 @@ func main() {
 	if *debugAddr != "" {
 		// expvar and net/http/pprof register on the default mux; add the
 		// Prometheus-style snapshot of the harness aggregator next to them.
-		expvar.Publish("sgd_obs", expvar.Func(h.Aggregator().Export))
+		// Publish panics on a duplicate name, so re-entrant runs (tests)
+		// keep the first registration.
+		if expvar.Get("sgd_obs") == nil {
+			expvar.Publish("sgd_obs", expvar.Func(h.Aggregator().Export))
+		}
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			fmt.Fprint(w, h.Aggregator().Snapshot())
 		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "sgdbench: debug server: %v\n", err)
+				fmt.Fprintf(stderr, "sgdbench: debug server: %v\n", err)
 			}
 		}()
 	}
 
-	run := func(name string) {
+	runOne := func(name string) bool {
 		switch name {
 		case "table1":
 			h.Table1()
@@ -111,26 +124,31 @@ func main() {
 		case "tolsweep":
 			h.TolSweep()
 		default:
-			fmt.Fprintf(os.Stderr, "sgdbench: unknown experiment %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "sgdbench: unknown experiment %q\n", name)
+			return false
 		}
+		return true
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"} {
-			run(name)
+			runOne(name)
 		}
 	} else {
 		for _, name := range strings.Split(*experiment, ",") {
-			run(name)
+			if !runOne(name) {
+				h.Close()
+				return 2
+			}
 		}
 	}
 
 	if *obsSummary {
-		fmt.Println("Observability summary")
-		fmt.Print(h.Aggregator().Summary())
+		fmt.Fprintln(stdout, "Observability summary")
+		fmt.Fprint(stdout, h.Aggregator().Summary())
 	}
 	if err := h.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "sgdbench: closing trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sgdbench: closing trace: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunTable1WithTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var stdout, stderr bytes.Buffer
+	// table1 prints dataset statistics; table2 actually drives engines, so
+	// the trace gets events.
+	args := []string{"-experiment", "table1,table2", "-maxn", "150", "-datasets", "w8a",
+		"-tasks", "lr", "-epochs", "20", "-trace", trace, "-obs"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Table II") {
+		t.Errorf("output missing table headers:\n%s", out)
+	}
+	if !strings.Contains(out, "Observability summary") {
+		t.Errorf("-obs summary missing:\n%s", out)
+	}
+	events, err := obs.ReadTraceFile(trace)
+	if err != nil {
+		t.Fatalf("trace unreadable: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace is empty")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "nosuchexperiment", "-maxn", "120"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunUnwritableTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-experiment", "table1", "-maxn", "120", "-trace", "/nonexistent/dir/run.jsonl"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1 for unwritable trace path", code)
+	}
+}

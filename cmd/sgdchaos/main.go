@@ -1,0 +1,170 @@
+// Command sgdchaos runs the regression matrix under a named fault plan and
+// emits a JSON degradation report: per configuration, the healthy
+// time-to-threshold and how much it stretches when a straggler slows one
+// worker, updates are dropped or duplicated, or parameter reads go stale.
+// The report is the paper's sync-fragile/async-robust contrast as data —
+// a synchronous barrier waits out the straggler's full factor while the
+// dynamically claimed asynchronous epochs barely notice it.
+//
+// Usage:
+//
+//	sgdchaos [-plan storm] [-seed 1] [-seq] [-deadline 0] [-ssp 0]
+//	         [-intensities 0,0.5,1] [-tol 0.1] [-out report.json]
+//	         [-strategies sync,async] [-devices cpu-par,gpu] [-datasets covtype,w8a]
+//	         [-maxn 0] [-epochs 0] [-threads 0]
+//	sgdchaos -list
+//
+// By default the full 8-engine matrix runs sequentially under the
+// virtual-time scheduler, so the report is exactly reproducible for a given
+// -seed. -deadline arms the synchronous engines' straggler mitigation (the
+// barrier fires at deadline x the healthy epoch and the update lands scaled
+// by the received gradient fraction); -ssp bounds the Hogwild workers'
+// progress skew. The filter and override flags trim the matrix for quick
+// runs. Exit status: 0 report written, 1 a run failed, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/regress"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		planName    = fs.String("plan", "storm", "fault plan name (-list to enumerate)")
+		list        = fs.Bool("list", false, "list the named fault plans and exit")
+		seed        = fs.Int64("seed", 1, "seed for model init, shuffles, fault streams and the schedule")
+		seq         = fs.Bool("seq", true, "run faulted epochs on the virtual-time sequential scheduler (exact replay)")
+		deadline    = fs.Float64("deadline", 0, "sync barrier deadline as a multiple of the healthy epoch (0 = classic BSP)")
+		ssp         = fs.Int("ssp", 0, "bound Hogwild workers' progress skew to this many updates (0 = unbounded)")
+		tol         = fs.Float64("tol", 0.1, "loss-gap tolerance defining each config's threshold")
+		intensities = fs.String("intensities", "", "comma-separated plan intensity multipliers (default 1)")
+		out         = fs.String("out", "-", "write the report JSON to this path (- = stdout)")
+		strategies  = fs.String("strategies", "", "comma filter on matrix strategies (sync,async)")
+		devices     = fs.String("devices", "", "comma filter on matrix devices (cpu-par,gpu)")
+		datasets    = fs.String("datasets", "", "comma filter on matrix datasets (covtype,w8a)")
+		maxN        = fs.Int("maxn", 0, "override per-config example count (0 = matrix default)")
+		epochs      = fs.Int("epochs", 0, "override per-config epoch budget (0 = matrix default)")
+		threads     = fs.Int("threads", 0, "override modeled CPU thread count (0 = matrix default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range chaos.PlanNames() {
+			p, _ := chaos.Lookup(name)
+			fmt.Fprintf(stdout, "%-10s %s\n", name, p)
+		}
+		return 0
+	}
+	plan, err := chaos.Lookup(*planName)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdchaos: %v (plans: %s)\n", err, strings.Join(chaos.PlanNames(), ", "))
+		return 2
+	}
+	opts := regress.ChaosOpts{
+		Seed:       *seed,
+		Sequential: *seq,
+		Deadline:   *deadline,
+		SSPBound:   *ssp,
+		Tol:        *tol,
+	}
+	if *intensities != "" {
+		for _, f := range strings.Split(*intensities, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(stderr, "sgdchaos: bad intensity %q\n", f)
+				return 2
+			}
+			opts.Intensities = append(opts.Intensities, v)
+		}
+	}
+
+	configs := matrix(*strategies, *devices, *datasets, *maxN, *epochs, *threads)
+	if len(configs) == 0 {
+		fmt.Fprintln(stderr, "sgdchaos: the filters selected no configurations")
+		return 2
+	}
+	for _, c := range configs {
+		fmt.Fprintf(stderr, "sgdchaos: %s under %s...\n", c.Fingerprint().Key(), plan)
+	}
+	rep, err := regress.Degradation(configs, plan, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "sgdchaos: mildest sync degradation %s, worst async %.2fx, async all reached: %v\n",
+		slowdownString(rep.MinSyncSlowdown), rep.MaxAsyncSlowdown, rep.AsyncAllReached)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "-" || *out == "" {
+		stdout.Write(buf)
+		return 0
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "sgdchaos: wrote %s (%d configs)\n", *out, len(rep.Configs))
+	return 0
+}
+
+// matrix filters the default 8-engine matrix and applies the scale
+// overrides. Filters are comma-separated allow-lists; empty keeps all.
+func matrix(strategies, devices, datasets string, maxN, epochs, threads int) []regress.Config {
+	keep := func(filter, val string) bool {
+		if filter == "" {
+			return true
+		}
+		for _, f := range strings.Split(filter, ",") {
+			if strings.TrimSpace(f) == val {
+				return true
+			}
+		}
+		return false
+	}
+	var out []regress.Config
+	for _, c := range regress.DefaultMatrix() {
+		if !keep(strategies, c.Strategy) || !keep(devices, c.Device) || !keep(datasets, c.Dataset) {
+			continue
+		}
+		if maxN > 0 {
+			c.N = maxN
+		}
+		if epochs > 0 {
+			c.Epochs = epochs
+		}
+		if threads > 0 && c.Threads > 0 {
+			c.Threads = threads
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// slowdownString renders a degradation factor, spelling out the -1 sentinel
+// (threshold never reached under the plan).
+func slowdownString(s float64) string {
+	if s < 0 {
+		return "unreached"
+	}
+	return fmt.Sprintf("%.2fx", s)
+}

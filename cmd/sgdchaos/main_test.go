@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/regress"
+)
+
+// trimmed is a set of flags that cuts the matrix to two sparse cpu-par
+// configs at a scale that runs in well under a second.
+var trimmed = []string{
+	"-datasets", "w8a", "-devices", "cpu-par",
+	"-maxn", "250", "-epochs", "8", "-threads", "8",
+}
+
+func TestRunStormReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-plan", "storm", "-seed", "1"}, trimmed...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep regress.DegradationReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v", err)
+	}
+	if rep.Plan.Name != "storm" {
+		t.Errorf("report plan %q, want storm", rep.Plan.Name)
+	}
+	if len(rep.Configs) != 2 {
+		t.Fatalf("got %d configs, want 2 (sync + async on w8a/cpu-par)", len(rep.Configs))
+	}
+	if !rep.AsyncAllReached {
+		t.Error("async config missed its threshold under storm at test scale")
+	}
+	// The contrast the command exists to show: sync degrades by around the
+	// straggler factor (or never reaches), async barely.
+	if rep.MinSyncSlowdown >= 0 && rep.MinSyncSlowdown < 5 {
+		t.Errorf("sync slowdown %.2f, want >= 5 or unreached", rep.MinSyncSlowdown)
+	}
+	if rep.MaxAsyncSlowdown > 3 {
+		t.Errorf("async slowdown %.2f, want < 3", rep.MaxAsyncSlowdown)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	out := filepath.Join(t.TempDir(), "report.json")
+	args := append([]string{"-plan", "straggler", "-out", out, "-strategies", "async"}, trimmed...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty with -out: %q", stdout.String())
+	}
+	rep := readReport(t, out)
+	if len(rep.Configs) != 1 || rep.Configs[0].Strategy != "async" {
+		t.Errorf("unexpected configs in file report: %+v", rep.Configs)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"storm", "straggler", "drops", "stale"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing plan %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-plan", "nosuchplan"},
+		{"-intensities", "1,bogus"},
+		{"-datasets", "nosuchdataset"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func readReport(t *testing.T, path string) regress.DegradationReport {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep regress.DegradationReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}

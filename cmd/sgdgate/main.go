@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/regress"
@@ -27,37 +28,45 @@ import (
 const defaultGoldenDir = "internal/regress/testdata/golden"
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "run":
-		cmdRun(os.Args[2:])
+		return cmdRun(args[1:], stdout, stderr)
 	case "compare":
-		cmdCompare(os.Args[2:])
+		return cmdCompare(args[1:], stdout, stderr)
 	case "bench":
-		cmdBench(os.Args[2:])
+		return cmdBench(args[1:], stdout, stderr)
 	default:
-		usage()
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sgdgate {run|compare|bench} [flags]  (see go doc ./cmd/sgdgate)")
-	os.Exit(2)
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage: sgdgate {run|compare|bench} [flags]  (see go doc ./cmd/sgdgate)")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sgdgate:", err)
-	os.Exit(2)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "sgdgate:", err)
+	return 2
 }
 
 // cmdRun executes the matrix and dumps every seeded curve: the inspection
 // mode for deciding tolerances and debugging a failing gate.
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	report := fs.String("report", "", "write raw run results as JSON to this path")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	type runDump struct {
 		Key  string               `json:"key"`
 		Cfg  regress.Config       `json:"config"`
@@ -67,72 +76,81 @@ func cmdRun(args []string) {
 	for _, c := range regress.DefaultMatrix() {
 		runs, err := regress.RunSeeds(c)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		key := c.Fingerprint().Key()
 		dumps = append(dumps, runDump{Key: key, Cfg: c, Runs: runs})
 		last := runs[len(runs)-1]
-		fmt.Printf("%-48s seeds=%d final_loss=%.6f sec/epoch=%.4g\n",
+		fmt.Fprintf(stdout, "%-48s seeds=%d final_loss=%.6f sec/epoch=%.4g\n",
 			key, len(runs), last.Losses[len(last.Losses)-1], last.SecPerEpoch)
 	}
 	if err := regress.WriteReport(*report, dumps); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
+	return 0
 }
 
 // cmdCompare is the convergence gate (or, with -update, the golden
 // re-recorder).
-func cmdCompare(args []string) {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	golden := fs.String("golden", defaultGoldenDir, "directory of committed goldens")
 	report := fs.String("report", "", "write the gate report as JSON to this path")
 	update := fs.Bool("update", false, "re-record goldens instead of comparing")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	configs := regress.DefaultMatrix()
 	if *update {
 		if err := regress.Update(*golden, configs); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("sgdgate: recorded %d goldens under %s\n", len(configs), *golden)
-		return
+		fmt.Fprintf(stdout, "sgdgate: recorded %d goldens under %s\n", len(configs), *golden)
+		return 0
 	}
 	rep := regress.Gate(*golden, configs)
 	for _, r := range rep.Results {
-		fmt.Printf("%-6s %-48s %s\n", r.Status, r.Key, r.Detail)
+		fmt.Fprintf(stdout, "%-6s %-48s %s\n", r.Status, r.Key, r.Detail)
 	}
 	if err := regress.WriteReport(*report, rep); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if !rep.Pass {
-		fmt.Fprintln(os.Stderr, "sgdgate: convergence gate FAILED")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sgdgate: convergence gate FAILED")
+		return 1
 	}
-	fmt.Println("sgdgate: convergence gate passed")
+	fmt.Fprintln(stdout, "sgdgate: convergence gate passed")
+	return 0
 }
 
 // cmdBench is the performance gate.
-func cmdBench(args []string) {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+func cmdBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	fresh := fs.String("new", "BENCH_epoch.json", "fresh epochbench report")
 	report := fs.String("report", "", "write the gate report as JSON to this path")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	rep, err := regress.CompareBenchFiles(*baseline, *fresh, nil)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	for _, c := range rep.Checks {
-		fmt.Printf("%-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
+		fmt.Fprintf(stdout, "%-6s %-45s %s\n", c.Status, c.Metric, c.Detail)
 	}
 	if !rep.Comparable {
-		fmt.Printf("sgdgate: wall-clock ratios skipped (%s)\n", rep.Skipped)
+		fmt.Fprintf(stdout, "sgdgate: wall-clock ratios skipped (%s)\n", rep.Skipped)
 	}
 	if err := regress.WriteReport(*report, rep); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if !rep.Pass {
-		fmt.Fprintln(os.Stderr, "sgdgate: bench gate FAILED")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sgdgate: bench gate FAILED")
+		return 1
 	}
-	fmt.Println("sgdgate: bench gate passed")
+	fmt.Fprintln(stdout, "sgdgate: bench gate passed")
+	return 0
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseline = "../../BENCH_baseline.json"
+
+func TestRunBenchGateSelfComparison(t *testing.T) {
+	// A report diffed against itself passes every rule: allocation pins
+	// match exactly and every wall-clock ratio is 1.0.
+	var stdout, stderr bytes.Buffer
+	report := filepath.Join(t.TempDir(), "gate.json")
+	code := run([]string{"bench", "-baseline", baseline, "-new", baseline, "-report", report}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "bench gate passed") {
+		t.Errorf("missing pass line:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(report); err != nil {
+		t.Errorf("gate report not written: %v", err)
+	}
+}
+
+func TestRunBenchGateCatchesRegression(t *testing.T) {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Break an allocation pin: the steady-state gradient path must stay
+	// allocation-free, so any nonzero count fails the exact rule.
+	allocs := rep["steady_state_allocs_per_op"].(map[string]any)
+	allocs["lr_batchgrad"] = 3.0
+	doctored, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	if err := os.WriteFile(fresh, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"bench", "-baseline", baseline, "-new", fresh}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (gate failure); stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "bench gate FAILED") {
+		t.Errorf("missing failure line:\n%s", stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"nosuchsubcommand"},
+		{"bench", "-baseline", "/nonexistent.json", "-new", "/nonexistent.json"},
+		{"compare", "-badflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}

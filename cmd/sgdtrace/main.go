@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,34 +22,42 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		engine  = flag.String("engine", "", "keep only events whose engine name contains this (at a word boundary, so \"sync\" does not match \"async\")")
-		dataset = flag.String("dataset", "", "keep only events whose dataset name contains this (at a word boundary)")
-		prom    = flag.Bool("prom", false, "print the Prometheus text snapshot instead of summary tables")
+		engine  = fs.String("engine", "", "keep only events whose engine name contains this (at a word boundary, so \"sync\" does not match \"async\")")
+		dataset = fs.String("dataset", "", "keep only events whose dataset name contains this (at a word boundary)")
+		prom    = fs.Bool("prom", false, "print the Prometheus text snapshot instead of summary tables")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sgdtrace [flags] trace.jsonl [more.jsonl...]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sgdtrace [flags] trace.jsonl [more.jsonl...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	agg := obs.NewAggregator()
 	var total, kept int
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		var events []obs.Event
 		var err error
 		if path == "-" {
-			events, err = obs.ReadTrace(os.Stdin)
+			events, err = obs.ReadTrace(stdin)
 		} else {
 			events, err = obs.ReadTraceFile(path)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sgdtrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sgdtrace: %v\n", err)
+			return 1
 		}
 		for _, ev := range events {
 			total++
@@ -64,11 +73,12 @@ func main() {
 	}
 
 	if *prom {
-		fmt.Print(agg.Snapshot())
-		return
+		fmt.Fprint(stdout, agg.Snapshot())
+		return 0
 	}
-	fmt.Printf("%d events read, %d after filters, %d runs\n\n", total, kept, len(agg.Runs()))
-	fmt.Print(agg.Summary())
+	fmt.Fprintf(stdout, "%d events read, %d after filters, %d runs\n\n", total, kept, len(agg.Runs()))
+	fmt.Fprint(stdout, agg.Summary())
+	return 0
 }
 
 // matchName reports whether name contains pat starting at a word boundary.

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeTrace records two runs (one sync, one async engine) through the real
+// TraceWriter, so the test exercises the same JSONL schema the harness emits.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tw, err := obs.CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"sync/cpu-par(8)", "async/gpu"} {
+		rec := tw.Run(engine, "w8a")
+		for ep := 0; ep < 3; ep++ {
+			rec.Phase(obs.PhaseGradient, 0.7)
+			rec.Phase(obs.PhaseBarrier, 0.3)
+			rec.Add(obs.CounterWorkerUpdates, 100)
+			rec.EndEpoch(1.0)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "6 events read, 6 after filters, 2 runs") {
+		t.Errorf("unexpected header:\n%s", out)
+	}
+	if !strings.Contains(out, "async/gpu") {
+		t.Errorf("summary missing engine table:\n%s", out)
+	}
+}
+
+func TestRunEngineFilterWordBoundary(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-engine", "sync", path}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	// "sync" must not match "async": exactly one run survives the filter.
+	if !strings.Contains(stdout.String(), "3 after filters, 1 runs") {
+		t.Errorf("word-boundary filter broken:\n%s", stdout.String())
+	}
+}
+
+func TestRunStdinProm(t *testing.T) {
+	raw, err := os.ReadFile(writeTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-prom", "-"}, bytes.NewReader(raw), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "sgd_") {
+		t.Errorf("prom snapshot has no sgd_ metrics:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/trace.jsonl"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

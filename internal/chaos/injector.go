@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Fate is the injector's verdict on one gradient update.
+type Fate uint8
+
+const (
+	// FateApply lands the update normally.
+	FateApply Fate = iota
+	// FateDrop discards the update after computation (a lost update).
+	FateDrop
+	// FateDup applies the update twice.
+	FateDup
+)
+
+// Injector turns a Plan into deterministic per-worker fault decisions. Each
+// worker draws from its own counter-hashed stream (splitmix64 seeded from
+// (seed, worker)), so decisions are independent of scheduling order, shared
+// across no goroutines, and replay exactly — the per-worker seeding
+// discipline the async engines follow for every random source.
+//
+// Fault firings accumulate in atomic counters; engines flush them to an
+// obs.Recorder once per epoch with Drain, which is how sgdtrace and the
+// aggregator report fault rates next to phase timings.
+type Injector struct {
+	plan Plan
+	seed int64
+
+	drops     atomic.Int64
+	dups      atomic.Int64
+	stale     atomic.Int64
+	straggled atomic.Int64
+	shortfall atomic.Int64
+}
+
+// NewInjector builds the injector for a plan and run seed.
+func NewInjector(plan Plan, seed int64) *Injector {
+	return &Injector{plan: plan, seed: seed}
+}
+
+// Plan returns the injected plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// splitmix64 advances the per-worker state and returns the next draw; the
+// standard 64-bit mixer, chosen because a single multiply-xor chain per
+// decision keeps the fault hooks out of the engines' hot-loop profile.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is one worker's deterministic decision stream. Not safe for
+// concurrent use — each worker owns exactly one.
+type Stream struct {
+	in        *Injector
+	state     uint64
+	straggler bool
+
+	// local fault tallies, folded into the injector atomically by flush
+	// so the hot loop touches no shared cache line.
+	drops, dups, stale int64
+	updates            int64
+}
+
+// Worker derives worker k's stream. The first Plan.Stragglers workers are
+// the slow ones.
+func (in *Injector) Worker(k int) *Stream {
+	state := uint64(in.seed)*0x9e3779b97f4a7c15 + uint64(k+1)*0xda942042e4dd58b5
+	return &Stream{
+		in:        in,
+		state:     state,
+		straggler: k < in.plan.Stragglers && in.plan.StragglerFactor > 1,
+	}
+}
+
+// uniform returns the next draw in [0, 1).
+func (s *Stream) uniform() float64 {
+	return float64(splitmix64(&s.state)>>11) / (1 << 53)
+}
+
+// Fate decides what happens to the worker's next gradient update.
+func (s *Stream) Fate() Fate {
+	p := s.in.plan
+	s.updates++
+	if p.DropFrac <= 0 && p.DupFrac <= 0 {
+		return FateApply
+	}
+	u := s.uniform()
+	if u < p.DropFrac {
+		s.drops++
+		return FateDrop
+	}
+	if u < p.DropFrac+p.DupFrac {
+		s.dups++
+		return FateDup
+	}
+	return FateApply
+}
+
+// Cost is the virtual-time cost of one of this worker's updates (the
+// straggler factor, or 1).
+func (s *Stream) Cost() float64 {
+	if s.straggler {
+		return s.in.plan.StragglerFactor
+	}
+	return 1
+}
+
+// Straggler reports whether this worker is one of the plan's slow workers.
+func (s *Stream) Straggler() bool { return s.straggler }
+
+// Staleness is the plan's read-staleness bound in updates.
+func (s *Stream) Staleness() int { return s.in.plan.Staleness }
+
+// CountStale records one update computed against a stale snapshot.
+func (s *Stream) CountStale() { s.stale++ }
+
+// Flush folds the stream's local tallies into the injector totals so a
+// subsequent Drain reports them. Controller.Run flushes its workers itself;
+// engines that drive standalone workers flush before draining.
+func (s *Stream) Flush() {
+	s.in.drops.Add(s.drops)
+	s.in.dups.Add(s.dups)
+	s.in.stale.Add(s.stale)
+	if s.straggler {
+		s.in.straggled.Add(s.updates)
+	}
+	s.drops, s.dups, s.stale, s.updates = 0, 0, 0, 0
+}
+
+// CountShortfall records updates applied with missing worker contributions
+// (the deadlined synchronous path).
+func (in *Injector) CountShortfall(n int64) { in.shortfall.Add(n) }
+
+// Drain flushes the accumulated fault counts to the recorder and resets
+// them; engines call it once per epoch so the per-epoch trace events carry
+// the epoch's fault rates.
+func (in *Injector) Drain(rec obs.Recorder) {
+	rec = obs.Or(rec)
+	if d := in.drops.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosDrops, d)
+	}
+	if d := in.dups.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosDups, d)
+	}
+	if d := in.stale.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosStaleReads, d)
+	}
+	if d := in.straggled.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosStraggled, d)
+	}
+	if d := in.shortfall.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosShortfall, d)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/chaos"
+	"repro/internal/model"
+)
+
+// ChaosHost is implemented by engines that can run under a fault-injection
+// controller (internal/chaos). All four in-repo engine families implement
+// it; external-framework engines are left dark, like Instrumented.
+type ChaosHost interface {
+	// SetChaos attaches the controller subsequent epochs run under; nil
+	// detaches it and restores the healthy fast paths.
+	SetChaos(*chaos.Controller)
+}
+
+// InjectChaos attaches c to e if the engine supports fault injection and
+// reports whether it did.
+func InjectChaos(e Engine, c *chaos.Controller) bool {
+	if h, ok := e.(ChaosHost); ok {
+		h.SetChaos(c)
+		return true
+	}
+	return false
+}
+
+// applyFate lands one captured update under the injector's verdict: once,
+// twice (duplicated), or not at all (dropped).
+func applyFate(f chaos.Fate, u model.Updater, w []float64, capt *captureUpdater) {
+	times := 1
+	switch f {
+	case chaos.FateDrop:
+		times = 0
+	case chaos.FateDup:
+		times = 2
+	}
+	for t := 0; t < times; t++ {
+		for k, ix := range capt.idx {
+			u.Add(w, ix, capt.delta[k])
+		}
+	}
+}

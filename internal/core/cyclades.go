@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
@@ -37,6 +38,12 @@ type CycladesEngine struct {
 	// Rec receives phase timings (gradient = conflict-free parallel work,
 	// barrier = per-batch synchronisation) and the batch/update counts.
 	Rec obs.Recorder
+	// Chaos, when enabled, lands each example's update under an injector
+	// fate and stretches the epoch by the *synchronous* slowdown: every
+	// conflict-free batch ends in a barrier, so a straggler stalls all of
+	// them — Cyclades buys determinism at the price of sync-style
+	// fragility, the trade-off the degradation report makes visible.
+	Chaos *chaos.Controller
 
 	rng     *rand.Rand
 	batches [][]int // conflict-free example batches (computed once)
@@ -186,6 +193,9 @@ func probeParams(m model.Model) []float64 { return make([]float64, m.NumParams()
 // SetRecorder implements Instrumented.
 func (e *CycladesEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
 
+// SetChaos implements ChaosHost.
+func (e *CycladesEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
 // RunEpoch implements Engine: batches execute in order; inside a batch the
 // updates are conflict-free, so parallel execution is bitwise equal to
 // sequential — we run it sequentially and price it at Threads-way
@@ -195,17 +205,39 @@ func (e *CycladesEngine) RunEpoch(w []float64) float64 {
 		e.schedule()
 	}
 	scr := e.Model.NewScratch()
-	for _, batch := range e.batches {
-		for _, i := range batch {
-			e.Model.SGDStep(w, e.Data, i, e.Step, model.RawUpdater{}, scr)
+	if e.Chaos.Enabled() {
+		cw := e.Chaos.StandaloneWorker(0)
+		capt := &captureUpdater{}
+		for _, batch := range e.batches {
+			for _, i := range batch {
+				capt.idx = capt.idx[:0]
+				capt.delta = capt.delta[:0]
+				e.Model.SGDStep(cw.View(w), e.Data, i, e.Step, capt, scr)
+				applyFate(cw.Fate(), model.RawUpdater{}, w, capt)
+				cw.Step()
+			}
+		}
+		cw.Stream.Flush()
+	} else {
+		for _, batch := range e.batches {
+			for _, i := range batch {
+				e.Model.SGDStep(w, e.Data, i, e.Step, model.RawUpdater{}, scr)
+			}
 		}
 	}
 	base, barriers := e.epochCost()
+	if e.Chaos.Enabled() {
+		// Per-batch barriers wait for the straggler's static share: the
+		// whole epoch stretches by the synchronous factor, charged to the
+		// barrier phase.
+		barriers += (e.Chaos.Plan.SyncSlowdown() - 1) * (base + barriers)
+	}
 	rec := obs.Or(e.Rec)
 	rec.Phase(obs.PhaseGradient, base)
 	rec.Phase(obs.PhaseBarrier, barriers)
 	rec.Add(obs.CounterBatches, int64(len(e.batches)))
 	rec.Add(obs.CounterWorkerUpdates, int64(e.Data.N()))
+	e.Chaos.Drain(e.Rec)
 	return base + barriers
 }
 

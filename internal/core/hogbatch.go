@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/model"
@@ -67,6 +68,11 @@ type HogbatchEngine struct {
 	// Pool overrides the worker pool the concurrent path dispatches on
 	// (nil = the shared process pool). Tests inject private pools.
 	Pool *pool.Pool
+	// Chaos, when enabled, runs batch applications under the fault
+	// controller: per-batch fates (drop/duplicate), staleness-bounded
+	// gradient views, and the async straggler stretch — small, because
+	// batch claiming is dynamic.
+	Chaos *chaos.Controller
 
 	cost     *numa.Model
 	seqBack  linalg.Backend
@@ -143,6 +149,9 @@ func (e *HogbatchEngine) batches() [][2]int {
 // SetRecorder implements Instrumented.
 func (e *HogbatchEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
 
+// SetChaos implements ChaosHost.
+func (e *HogbatchEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
 // scaleFactor is the CostScale multiplier with its default applied.
 func (e *HogbatchEngine) scaleFactor() float64 {
 	if e.CostScale > 0 {
@@ -161,7 +170,11 @@ func (e *HogbatchEngine) RunEpoch(w []float64) float64 {
 		}
 		sec, upd = e.runSerial(w, e.gpuBack)
 	case HogbatchParCPU:
-		sec = e.runParallel(w)
+		if e.Chaos.Enabled() {
+			sec = e.runParallelChaos(w)
+		} else {
+			sec = e.runParallel(w)
+		}
 	default:
 		if e.seqBack == nil {
 			e.seqBack = linalg.NewCPU(1)
@@ -177,12 +190,20 @@ func (e *HogbatchEngine) RunEpoch(w []float64) float64 {
 	// factor), and the per-batch dispatch overhead the barrier. The three
 	// sum exactly to the returned epoch seconds.
 	rec := obs.Or(e.Rec)
+	// A chaos straggler stretches the epoch by the (small, dynamic-
+	// claiming) async factor; the idle tail lands in the barrier phase so
+	// phases keep summing to the returned epoch seconds.
+	extra := 0.0
+	if e.Chaos.Enabled() {
+		extra = (e.Chaos.Slowdown() - 1) * (sec + overhead) * scale
+	}
 	rec.Phase(obs.PhaseGradient, (sec-upd)*scale)
 	rec.Phase(obs.PhaseUpdate, upd*scale)
-	rec.Phase(obs.PhaseBarrier, overhead*scale)
+	rec.Phase(obs.PhaseBarrier, overhead*scale+extra)
 	rec.Add(obs.CounterBatches, nb)
 	rec.Add(obs.CounterWorkerUpdates, nb)
-	return (sec + overhead) * scale
+	e.Chaos.Drain(e.Rec)
+	return (sec+overhead)*scale + extra
 }
 
 // runSerial performs sequential mini-batch SGD on the given backend; the
@@ -192,6 +213,13 @@ func (e *HogbatchEngine) RunEpoch(w []float64) float64 {
 func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) (total, upd float64) {
 	rec := obs.Or(e.Rec)
 	scale := e.scaleFactor()
+	var cw *chaos.Worker
+	if e.Chaos.Enabled() {
+		// The serial path has one worker, so a straggler plan slows it by
+		// the full factor (AsyncSlowdown(1) = F) — no peers to absorb it.
+		e.Chaos.Workers = 1
+		cw = e.Chaos.StandaloneWorker(0)
+	}
 	start := b.Meter().Seconds()
 	if len(e.g) != e.Model.NumParams() {
 		e.g = make([]float64, e.Model.NumParams())
@@ -206,12 +234,28 @@ func (e *HogbatchEngine) runSerial(w []float64, b linalg.Backend) (total, upd fl
 			rows = append(rows, i)
 		}
 		b0 := b.Meter().Seconds()
-		e.Model.BatchGrad(b, w, e.Data, rows, g)
-		u0 := b.Meter().Seconds()
-		b.Axpy(-e.Step, g, w)
-		u1 := b.Meter().Seconds()
-		upd += u1 - u0
-		rec.Observe(obs.MetricBatchSeconds, (u1-b0+e.PerBatchOverhead)*scale)
+		if cw == nil {
+			e.Model.BatchGrad(b, w, e.Data, rows, g)
+			u0 := b.Meter().Seconds()
+			b.Axpy(-e.Step, g, w)
+			upd += b.Meter().Seconds() - u0
+		} else {
+			e.Model.BatchGrad(b, cw.View(w), e.Data, rows, g)
+			u0 := b.Meter().Seconds()
+			switch cw.Fate() {
+			case chaos.FateDrop:
+			case chaos.FateDup:
+				b.Axpy(-2*e.Step, g, w)
+			default:
+				b.Axpy(-e.Step, g, w)
+			}
+			upd += b.Meter().Seconds() - u0
+			cw.Step()
+		}
+		rec.Observe(obs.MetricBatchSeconds, (b.Meter().Seconds()-b0+e.PerBatchOverhead)*scale)
+	}
+	if cw != nil {
+		cw.Stream.Flush()
 	}
 	return b.Meter().Seconds() - start, upd
 }
@@ -271,6 +315,71 @@ func (e *HogbatchEngine) runParallel(w []float64) float64 {
 			e.workerRows[p] = rows
 			e.workerSec[p] = bk.Meter().Seconds() - start
 		}
+	})
+	var work float64
+	for p := 0; p < workers; p++ {
+		work += e.workerSec[p]
+	}
+	return work / e.parSpeedup()
+}
+
+// runParallelChaos is runParallel under the fault controller: workers still
+// claim batches dynamically (which is exactly why the straggler stretch
+// stays small), but each batch gradient is computed against the worker's
+// staleness-bounded view and landed under its injector fate. In sequential
+// mode the whole epoch runs on the virtual-time scheduler with the full
+// modeled thread count and replays bitwise.
+func (e *HogbatchEngine) runParallelChaos(w []float64) float64 {
+	batches := e.batches()
+	workers := e.Threads
+	if !e.Chaos.Sequential {
+		if max := runtime.GOMAXPROCS(0); workers > max {
+			workers = max
+		}
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e.ensureWorkers(workers)
+	var next atomic.Int64
+	e.Chaos.Run(e.Pool, workers, func(p int, cw *chaos.Worker) {
+		bk := e.workerBk[p]
+		start := bk.Meter().Seconds()
+		g := e.workerG[p]
+		rows := e.workerRows[p][:0]
+		upd := model.RawUpdater{}
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= len(batches) {
+				break
+			}
+			r := batches[k]
+			rows = rows[:0]
+			for i := r[0]; i < r[1]; i++ {
+				rows = append(rows, i)
+			}
+			e.Model.BatchGrad(bk, cw.View(w), e.Data, rows, g)
+			times := 1
+			switch cw.Fate() {
+			case chaos.FateDrop:
+				times = 0
+			case chaos.FateDup:
+				times = 2
+			}
+			for t := 0; t < times; t++ {
+				for j, gv := range g {
+					if gv != 0 {
+						upd.Add(w, j, -e.Step*gv)
+					}
+				}
+			}
+			cw.Step()
+		}
+		e.workerRows[p] = rows
+		e.workerSec[p] = bk.Meter().Seconds() - start
 	})
 	var work float64
 	for p := 0; p < workers; p++ {

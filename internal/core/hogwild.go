@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/numa"
@@ -61,6 +63,12 @@ type HogwildEngine struct {
 	// Pool overrides the worker pool the concurrent path dispatches on
 	// (nil = the shared process pool). Tests inject private pools.
 	Pool *pool.Pool
+	// Chaos, when enabled, runs epochs under the fault-injection
+	// controller: workers claim examples dynamically, read through
+	// staleness-bounded views, land updates under injector fates, and —
+	// in sequential mode — interleave on the seeded virtual-time
+	// scheduler, making the racy update order exactly replayable.
+	Chaos *chaos.Controller
 
 	rng         *rand.Rand
 	perm        []int
@@ -74,6 +82,8 @@ type HogwildEngine struct {
 	bounds    []int           // nnz-balanced segment bounds over perm, reused
 	shares    []float64       // per-segment update shares, reused
 	scratches []model.Scratch // per-segment model scratch, created once
+	caps      []captureUpdater
+	claims    []int64
 	ring      []inflightUpdate
 	cursors   []int
 	capture   captureUpdater
@@ -150,6 +160,9 @@ func (e *HogwildEngine) prepare() {
 // SetRecorder implements Instrumented.
 func (e *HogwildEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
 
+// SetChaos implements ChaosHost.
+func (e *HogwildEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
 // record emits one epoch's phase decomposition, worker shares, and (when the
 // updater counts CAS retries) the contention delta. shares are the fraction
 // of the epoch's updates each worker executed.
@@ -175,6 +188,9 @@ func (e *HogwildEngine) record(shares []float64) {
 func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 	e.prepare()
 	e.rng.Shuffle(len(e.perm), func(i, j int) { e.perm[i], e.perm[j] = e.perm[j], e.perm[i] })
+	if e.Chaos.Enabled() {
+		return e.runChaos(w)
+	}
 	workers := e.Threads
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		// Host cores bound the real concurrency; the modeled time is
@@ -216,6 +232,79 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 	e.workerPool().Run(nseg, nseg, &e.task)
 	e.record(e.shares)
 	return e.epochCost
+}
+
+// runChaos executes one epoch under the fault controller. Unlike the healthy
+// path's static nnz-balanced segments, workers claim examples dynamically
+// off a shared counter over the shuffled permutation — so a straggler simply
+// contributes fewer updates and the epoch stretches by only
+// N/((N-S)+S/F), the asymmetry against the barriered synchronous engines
+// that cmd/sgdchaos measures. Each gradient is computed against the worker's
+// (possibly staleness-bounded) view and landed under the injector's fate. In
+// sequential mode the whole epoch runs on the seeded virtual-time scheduler
+// and replays bitwise; otherwise the workers race for real and only the
+// fault decisions are deterministic.
+func (e *HogwildEngine) runChaos(w []float64) float64 {
+	n := len(e.perm)
+	workers := e.Threads
+	if !e.Chaos.Sequential {
+		// Real concurrency is bounded by host cores, as on the healthy
+		// path; the virtual-time scheduler has no such limit.
+		if max := runtime.GOMAXPROCS(0); workers > max {
+			workers = max
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(e.scratches) < workers {
+		e.scratches = append(e.scratches, e.Model.NewScratch())
+	}
+	if len(e.caps) < workers {
+		e.caps = make([]captureUpdater, workers)
+	}
+	if len(e.claims) < workers {
+		e.claims = make([]int64, workers)
+	}
+	claims := e.claims[:workers]
+	for k := range claims {
+		claims[k] = 0
+	}
+	var next atomic.Int64
+	e.Chaos.Run(e.Pool, workers, func(k int, cw *chaos.Worker) {
+		scr := e.scratches[k]
+		capt := &e.caps[k]
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= n {
+				return
+			}
+			claims[k]++
+			capt.idx = capt.idx[:0]
+			capt.delta = capt.delta[:0]
+			e.Model.SGDStep(cw.View(w), e.Data, e.perm[t], e.Step, capt, scr)
+			applyFate(cw.Fate(), e.Updater, w, capt)
+			cw.Step()
+		}
+	})
+	e.shares = e.shares[:0]
+	for k := 0; k < workers; k++ {
+		e.shares = append(e.shares, float64(claims[k])/float64(n))
+	}
+	e.record(e.shares)
+	slow := e.Chaos.Slowdown()
+	extra := (slow - 1) * e.epochCost
+	if extra > 0 {
+		// The straggler's critical path shows up as synchronisation-free
+		// idle time; attribute it to the barrier phase so the phase sum
+		// stays consistent with the returned epoch seconds.
+		obs.Or(e.Rec).Phase(obs.PhaseBarrier, extra)
+	}
+	e.Chaos.Drain(e.Rec)
+	return e.epochCost + extra
 }
 
 // hogwildTask runs the permutation segments [lo, hi) of one concurrent

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/gpusim"
 	"repro/internal/model"
@@ -43,6 +44,13 @@ type GPUHogwildEngine struct {
 	// the simulator's conflict/coalescing counters, and the divergent-warp
 	// fraction.
 	Rec obs.Recorder
+	// Chaos, when enabled, wires the plan's drop fraction into the
+	// simulator's FaultDrop hook and stretches the epoch by the async
+	// straggler slowdown over the resident warps — vanishing, because
+	// thousands of warps absorb one slow one. Staleness injection is a
+	// no-op here: warp-round snapshot staleness is already the kernel's
+	// native read semantics.
+	Chaos *chaos.Controller
 
 	rng   *rand.Rand
 	perm  []int
@@ -90,6 +98,9 @@ func (e *GPUHogwildEngine) LastStats() gpusim.AsyncStats { return e.stats }
 
 // SetRecorder implements Instrumented.
 func (e *GPUHogwildEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// SetChaos implements ChaosHost.
+func (e *GPUHogwildEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
 
 // record surfaces one epoch's AsyncStats through the recorder. The phase
 // split attributes the kernel-launch overhead to the barrier phase and
@@ -165,6 +176,18 @@ func (e *GPUHogwildEngine) RunEpoch(w []float64) float64 {
 			return e.Model.GradSupport(e.Data, item)
 		},
 	}
+	var cw *chaos.Worker
+	if e.Chaos.Enabled() {
+		cw = e.Chaos.StandaloneWorker(0)
+		if e.Chaos.Plan.DropFrac > 0 {
+			// Deterministic per-item drop decisions; the simulator still
+			// charges the dropped lane's compute (see AsyncConfig.FaultDrop).
+			// Duplication has no SIMT analogue — a duped fate applies once.
+			cfg.FaultDrop = func(item int) bool {
+				return cw.Fate() == chaos.FateDrop
+			}
+		}
+	}
 	if e.SharedMemory && int64(e.Model.NumParams())*8 <= e.Dev.Spec.SharedMemPerMP {
 		e.stats = e.Dev.RunAsyncEpochShared(e.Model.NumParams(), e.perm, cfg,
 			func(idx int) float64 { return w[idx] },
@@ -192,7 +215,20 @@ func (e *GPUHogwildEngine) RunEpoch(w []float64) float64 {
 	if e.CostScale > 0 && e.CostScale != 1 {
 		e.stats.Cost = e.Dev.Rescale(e.stats.Cost, e.CostScale)
 	}
+	if cw != nil {
+		// One straggling warp among the resident thousands barely moves
+		// the kernel. The slowdown is modeled against the device's full
+		// occupancy, not the dataset-scaled MaxWarps: modeled time is
+		// paper-scale, where the straggler really is one warp of ~26k
+		// threads. Stretch before recording so the phase split stays
+		// consistent with the returned epoch seconds.
+		mw := e.Dev.Spec.MaxResidentWarps()
+		e.Chaos.Workers = mw
+		e.stats.Cost.Seconds *= e.Chaos.Plan.AsyncSlowdown(mw)
+		cw.Stream.Flush()
+	}
 	e.record(e.stats)
+	e.Chaos.Drain(e.Rec)
 	return e.stats.Cost.Seconds
 }
 

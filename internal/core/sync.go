@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/model"
@@ -38,6 +39,15 @@ type SyncEngine struct {
 	// Rec receives phase timings (gradient = batch-gradient kernels,
 	// update = Axpy, barrier = EpochOverhead) and the batch count.
 	Rec obs.Recorder
+	// Chaos, when enabled, stretches the epoch by the plan's synchronous
+	// slowdown: the per-epoch barrier waits out the straggler's full
+	// F-times share — unless Chaos.Deadline caps the wait, in which case
+	// the update proceeds with the gradient fraction received by the
+	// deadline (the straggler's missing contributions are counted as
+	// shortfall). This is the fragile half of the paper's contrast: the
+	// identical fault that barely moves the Hogwild engines multiplies
+	// every synchronous epoch.
+	Chaos *chaos.Controller
 
 	grad []float64
 	rows []int
@@ -54,6 +64,42 @@ func (e *SyncEngine) Name() string { return "sync/" + e.Backend.Name() }
 // SetRecorder implements Instrumented.
 func (e *SyncEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
 
+// SetChaos implements ChaosHost.
+func (e *SyncEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
+// chaosStretch resolves the epoch stretch and update scale the fault plan
+// imposes on the barriered path. Without a deadline the barrier waits out
+// the straggler (stretch = SyncSlowdown, full gradient); with one, the
+// epoch is capped at Deadline times the healthy epoch and the update is
+// scaled by the fraction of gradient contributions received by then —
+// shortfall is the examples the straggler never delivered.
+func (e *SyncEngine) chaosStretch() (stretch, stepScale float64, shortfall int64) {
+	stretch, stepScale = 1, 1
+	if !e.Chaos.Enabled() {
+		return
+	}
+	stretch = e.Chaos.Plan.SyncSlowdown()
+	d := e.Chaos.Deadline
+	if d < 1 || d >= stretch {
+		return
+	}
+	workers := e.Chaos.Workers
+	if workers <= 0 {
+		workers = 56 // the paper machine's thread count
+	}
+	s := e.Chaos.Plan.Stragglers
+	if s > workers {
+		s = workers
+	}
+	// By the deadline each straggler has finished d/stretch of its static
+	// 1/workers share; the healthy workers have finished theirs.
+	frac := (float64(workers-s) + float64(s)*d/stretch) / float64(workers)
+	stepScale = frac
+	stretch = d
+	shortfall = int64((1 - frac) * float64(e.Data.N()))
+	return
+}
+
 // RunEpoch implements Engine.
 func (e *SyncEngine) RunEpoch(w []float64) float64 {
 	if len(w) != e.Model.NumParams() {
@@ -63,6 +109,7 @@ func (e *SyncEngine) RunEpoch(w []float64) float64 {
 		e.grad = make([]float64, e.Model.NumParams())
 	}
 	rec := obs.Or(e.Rec)
+	stretch, stepScale, shortfall := e.chaosStretch()
 	meter := e.Backend.Meter()
 	start := meter.Seconds()
 	var updSec float64
@@ -70,7 +117,7 @@ func (e *SyncEngine) RunEpoch(w []float64) float64 {
 	step := func(rows []int) {
 		e.Model.BatchGrad(e.Backend, w, e.Data, rows, e.grad)
 		u0 := meter.Seconds()
-		e.Backend.Axpy(-e.Step, e.grad, w)
+		e.Backend.Axpy(-e.Step*stepScale, e.grad, w)
 		updSec += meter.Seconds() - u0
 		batches++
 	}
@@ -101,14 +148,22 @@ func (e *SyncEngine) RunEpoch(w []float64) float64 {
 	}
 	// Phase attribution: batch-gradient kernels are the gradient phase,
 	// the Axpy model write is the update phase, and the per-epoch
-	// primitive-management overhead is the synchronisation/dispatch
+	// primitive-management overhead — plus whatever the barrier spends
+	// waiting for a chaos-plan straggler — is the synchronisation/dispatch
 	// barrier. The three sum exactly to the returned epoch seconds.
+	barrier := e.EpochOverhead + (stretch-1)*sec*scale
 	rec.Phase(obs.PhaseGradient, (sec-updSec)*scale)
 	rec.Phase(obs.PhaseUpdate, updSec*scale)
-	rec.Phase(obs.PhaseBarrier, e.EpochOverhead)
+	rec.Phase(obs.PhaseBarrier, barrier)
 	rec.Add(obs.CounterBatches, batches)
 	rec.Add(obs.CounterWorkerUpdates, batches)
-	return sec*scale + e.EpochOverhead
+	if e.Chaos.Enabled() {
+		if shortfall > 0 {
+			e.Chaos.Injector().CountShortfall(shortfall)
+		}
+		e.Chaos.Drain(e.Rec)
+	}
+	return sec*scale*stretch + e.EpochOverhead
 }
 
 var _ Engine = (*SyncEngine)(nil)

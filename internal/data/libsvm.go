@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -52,7 +53,10 @@ func ReadLIBSVM(r io.Reader, name string, numFeatures int) (*Dataset, error) {
 				return nil, fmt.Errorf("libsvm %s:%d: malformed pair %q", name, lineNo, f)
 			}
 			idx, err := strconv.Atoi(f[:colon])
-			if err != nil || idx < 1 {
+			// The upper bound guards the int32 column conversion: an index
+			// past MaxInt32 would otherwise wrap and silently land in the
+			// wrong (possibly in-range) column.
+			if err != nil || idx < 1 || idx > math.MaxInt32 {
 				return nil, fmt.Errorf("libsvm %s:%d: bad index %q", name, lineNo, f[:colon])
 			}
 			val, err := strconv.ParseFloat(f[colon+1:], 64)

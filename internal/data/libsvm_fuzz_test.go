@@ -1,0 +1,77 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadLIBSVM drives the LIBSVM parser with arbitrary text. The property
+// is two-sided: any input the parser rejects must produce an error (never a
+// panic), and any input it accepts must validate and survive a
+// write-reparse round trip bit-for-bit.
+func FuzzReadLIBSVM(f *testing.F) {
+	// Seeds: the happy path (including a real generated dataset), plus the
+	// malformed shapes the parser has explicit errors for. The generated
+	// seed is kept tiny: minimizing mutants of a multi-kilobyte seed can eat
+	// the whole fuzz budget on a small CI box.
+	var gen bytes.Buffer
+	spec, err := Lookup("w8a")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteLIBSVM(&gen, Generate(spec.Scaled(8/float64(spec.N)))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen.Bytes())
+	f.Add([]byte("+1 1:0.5 3:1\n-1 2:0.25\n"))
+	f.Add([]byte("# comment\n\n+1 7:1e-3\n"))
+	f.Add([]byte("notalabel 1:1\n"))
+	f.Add([]byte("+1 3:1 2:1\n"))        // non-increasing indices
+	f.Add([]byte("+1 0:1\n"))            // 1-based floor
+	f.Add([]byte("+1 2147483648:1\n"))   // int32 overflow guard
+	f.Add([]byte("+1 1:\n"))             // missing value
+	f.Add([]byte("+1 nocolon\n"))        // malformed pair
+	f.Add([]byte("0 1:nan 2:inf\n"))     // non-finite values
+	f.Add([]byte("-0.0 1:-0\n+1 1:1\n")) // signed zeros
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ds, err := ReadLIBSVM(bytes.NewReader(in), "fuzz", 0)
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteLIBSVM(&buf, ds); err != nil {
+			t.Fatalf("writing a parsed dataset: %v", err)
+		}
+		ds2, err := ReadLIBSVM(bytes.NewReader(buf.Bytes()), "fuzz", ds.D())
+		if err != nil {
+			t.Fatalf("reparsing our own output: %v\n%s", err, buf.String())
+		}
+		if ds2.N() != ds.N() || ds2.X.NNZ() != ds.X.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d nnz %d -> %dx%d nnz %d",
+				ds.N(), ds.D(), ds.X.NNZ(), ds2.N(), ds2.D(), ds2.X.NNZ())
+		}
+		for i := 0; i < ds.N(); i++ {
+			if ds.Y[i] != ds2.Y[i] {
+				t.Fatalf("label %d changed: %v -> %v", i, ds.Y[i], ds2.Y[i])
+			}
+			c1, v1 := ds.X.Row(i)
+			c2, v2 := ds2.X.Row(i)
+			if len(c1) != len(c2) {
+				t.Fatalf("row %d nnz changed: %d -> %d", i, len(c1), len(c2))
+			}
+			for k := range c1 {
+				// Bitwise comparison so NaN payloads and signed zeros count
+				// as equal only when %g really round-tripped them.
+				if c1[k] != c2[k] || math.Float64bits(v1[k]) != math.Float64bits(v2[k]) {
+					t.Fatalf("row %d entry %d changed: %d:%x -> %d:%x",
+						i, k, c1[k], math.Float64bits(v1[k]), c2[k], math.Float64bits(v2[k]))
+				}
+			}
+		}
+	})
+}

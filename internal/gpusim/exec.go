@@ -27,6 +27,11 @@ type AsyncConfig struct {
 	// kernel still gathers the example and the model; without this hook
 	// their cost would be zero. Nil means "reads equal emissions".
 	ReadSupport func(item int) int
+	// FaultDrop, when non-nil, is consulted once per item before its lane
+	// emits: true discards the item's update entirely (the fault-injection
+	// hook of internal/chaos). The lane still streams the example and
+	// computes the gradient — the cost stays — but no delta lands.
+	FaultDrop func(item int) bool
 	// WarpPerExample switches the kernel layout: instead of one example
 	// per lane (32 concurrent examples per warp, divergent on skewed
 	// rows, conflicting on dense ones), the whole warp cooperates on a
@@ -45,6 +50,7 @@ type AsyncStats struct {
 	LostIntra int64 // updates lost to intra-warp write conflicts
 	LostInter int64 // updates lost to inter-warp write conflicts
 	Applied   int64 // component updates that landed in the model
+	Dropped   int64 // items discarded by the FaultDrop hook
 	Cost      Cost  // modeled kernel time for the epoch
 }
 
@@ -125,6 +131,21 @@ func (d *Device) RunAsyncEpoch(items []int, cfg AsyncConfig, lane LaneFunc, appl
 					continue
 				}
 				lanesActive++
+				if cfg.FaultDrop != nil && cfg.FaultDrop(items[pos]) {
+					// The dropped update's compute and example stream
+					// still cost; only the write disappears.
+					st.Dropped++
+					reads := 0
+					if cfg.ReadSupport != nil {
+						reads = cfg.ReadSupport(items[pos])
+					}
+					cost.Flops += float64(reads) * float64(fpe)
+					cost.Bytes += float64(reads) * 20
+					if reads > warpMaxLen {
+						warpMaxLen = reads
+					}
+					continue
+				}
 				li, ld := laneIdx[l], laneDelta[l]
 				lane(items[pos], func(idx int, delta float64) {
 					li = append(li, int64(idx))
@@ -244,6 +265,15 @@ func (d *Device) runWarpPerExample(items []int, cfg AsyncConfig, lane LaneFunc, 
 				continue
 			}
 			anyWork = true
+			if cfg.FaultDrop != nil && cfg.FaultDrop(items[pos]) {
+				st.Dropped++
+				if cfg.ReadSupport != nil {
+					reads := cfg.ReadSupport(items[pos])
+					cost.Flops += float64(reads) * float64(fpe)
+					cost.Bytes += float64(reads) * 20
+				}
+				continue
+			}
 			idxBuf = idxBuf[:0]
 			deltaBuf = deltaBuf[:0]
 			lane(items[pos], func(idx int, delta float64) {

@@ -85,6 +85,19 @@ func (d *Device) RunAsyncEpochShared(nParams int, items []int, cfg AsyncConfig, 
 						continue
 					}
 					lanesActive++
+					if cfg.FaultDrop != nil && cfg.FaultDrop(items[pos]) {
+						st.Dropped++
+						reads := 0
+						if cfg.ReadSupport != nil {
+							reads = cfg.ReadSupport(items[pos])
+						}
+						cost.Flops += float64(reads) * float64(fpe)
+						cost.Bytes += float64(reads) * 12
+						if reads > warpMaxLen {
+							warpMaxLen = reads
+						}
+						continue
+					}
 					li, ld := laneIdx[l], laneDelta[l]
 					lane(items[pos], rep, func(idx int, delta float64) {
 						li = append(li, int64(idx))

@@ -111,6 +111,22 @@ const (
 	// CounterGPURequests counts lane memory requests before coalescing
 	// (the coalescing ratio is requests/transactions).
 	CounterGPURequests
+	// CounterChaosDrops counts gradient updates discarded by the fault
+	// injector (internal/chaos) — computed but never applied.
+	CounterChaosDrops
+	// CounterChaosDups counts gradient updates the injector applied twice.
+	CounterChaosDups
+	// CounterChaosStaleReads counts updates computed against a stale
+	// parameter snapshot served by the injector's bounded-staleness view.
+	CounterChaosStaleReads
+	// CounterChaosStraggled counts updates executed by workers the fault
+	// plan slowed down (the straggler's share of the epoch).
+	CounterChaosStraggled
+	// CounterChaosShortfall counts model updates a deadlined synchronous
+	// epoch applied with missing straggler contributions (the graceful-
+	// degradation path: the barrier proceeded before every worker
+	// reported).
+	CounterChaosShortfall
 	numCounters
 )
 
@@ -137,6 +153,16 @@ func (c Counter) String() string {
 		return "gpu_transactions"
 	case CounterGPURequests:
 		return "gpu_requests"
+	case CounterChaosDrops:
+		return "chaos_drops"
+	case CounterChaosDups:
+		return "chaos_dups"
+	case CounterChaosStaleReads:
+		return "chaos_stale_reads"
+	case CounterChaosStraggled:
+		return "chaos_straggled"
+	case CounterChaosShortfall:
+		return "chaos_shortfall"
 	}
 	return "unknown"
 }
@@ -164,6 +190,9 @@ const (
 	// MetricWorkerShare is the per-worker share of an epoch's updates
 	// (Hogwild work balance).
 	MetricWorkerShare
+	// MetricChaosSlowdown is the per-epoch modeled-time stretch a fault
+	// plan inflicted (faulted epoch seconds / healthy epoch seconds).
+	MetricChaosSlowdown
 	numMetrics
 )
 
@@ -176,6 +205,8 @@ func (m Metric) String() string {
 		return "divergent_warp_frac"
 	case MetricWorkerShare:
 		return "worker_share"
+	case MetricChaosSlowdown:
+		return "chaos_slowdown"
 	}
 	return "unknown"
 }

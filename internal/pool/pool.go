@@ -18,6 +18,7 @@
 package pool
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,11 @@ type Pool struct {
 	size  int
 	tasks chan call
 	dones chan *doneGroup
+	// seqRng, when non-nil, switches the pool into the deterministic
+	// sequential mode: Run executes every chunk inline on the caller, in a
+	// seeded permutation order, with no worker goroutines. See
+	// NewSequential.
+	seqRng *rand.Rand
 }
 
 // New starts a pool with the given number of persistent workers. Sizes
@@ -85,6 +91,27 @@ func New(size int) *Pool {
 	return p
 }
 
+// NewSequential returns a pool that reports the given size but executes
+// every Run single-threaded on the calling goroutine, visiting the chunks in
+// a seeded permutation order. Two pools built with the same seed replay the
+// same chunk order on every call sequence; the chunk *split* is identical to
+// the concurrent pool's, so a Task sees the same (lo, hi) ranges either way.
+//
+// This is the schedule-control substrate of the chaos harness: engines that
+// dispatch racy work through a pool become exactly replayable when handed a
+// sequential pool, without any change to the engine code. A sequential pool
+// is not safe for concurrent Run calls (there is nothing concurrent about
+// it); tests and the chaos runner drive it from one goroutine.
+func NewSequential(size int, seed int64) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{size: size, seqRng: rand.New(rand.NewSource(seed))}
+}
+
+// Sequential reports whether the pool is in deterministic sequential mode.
+func (p *Pool) Sequential() bool { return p.seqRng != nil }
+
 var (
 	defaultOnce sync.Once
 	defaultPool *Pool
@@ -103,7 +130,11 @@ func (p *Pool) Size() int { return p.size }
 
 // Close stops the workers once the queue drains. Only tests that create
 // private pools need it; the Default pool lives for the process.
-func (p *Pool) Close() { close(p.tasks) }
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		close(p.tasks)
+	}
+}
 
 func (p *Pool) worker() {
 	for c := range p.tasks {
@@ -137,6 +168,20 @@ func (p *Pool) Run(workers, n int, t Task) {
 	nchunks := (n + chunk - 1) / chunk
 	if nchunks <= 1 {
 		t.Run(0, n)
+		return
+	}
+	if p.seqRng != nil {
+		// Sequential mode: the same chunk split, executed inline in a
+		// seeded permutation order. No goroutines, no channels — the
+		// whole Run is a deterministic function of the seed stream.
+		for _, k := range p.seqRng.Perm(nchunks) {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			t.Run(lo, hi)
+		}
 		return
 	}
 	d := p.getDone()

@@ -1,0 +1,170 @@
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sequencer is a virtual-time cooperative scheduler: a fixed set of worker
+// bodies runs on real goroutines, but a channel handshake guarantees that at
+// most one of them executes at any moment, and the order in which they are
+// resumed is a pure function of the seed. Each worker carries a virtual
+// clock; at every scheduling point the runnable worker with the smallest
+// clock runs next (ties broken by the seeded RNG), so a worker whose steps
+// cost 10 virtual units is resumed ten times less often than its unit-cost
+// peers — exactly a straggler's interleaving, replayed deterministically.
+//
+// This is the substrate of the chaos tests (internal/chaos): Hogwild's racy
+// update order, which on a many-core host depends on the OS scheduler,
+// becomes a seeded permutation that two runs reproduce bit for bit. The
+// happens-before edges of the resume/park handshake also make the single
+// running worker data-race-free under the race detector even though the
+// worker bodies touch a shared model vector without locks.
+//
+// A Sequencer is single-use: register workers with Go, drive them with Run,
+// then discard it. It must not be shared across concurrent Runs.
+type Sequencer struct {
+	rng     *rand.Rand
+	workers []*seqWorker
+	started bool
+}
+
+// seqWorker is one registered cooperative worker.
+type seqWorker struct {
+	clock  float64
+	resume chan struct{} // scheduler -> worker: your turn
+	parked chan struct{} // worker -> scheduler: yielded or exited
+	done   bool
+	ready  func() bool // nil = always runnable (see Turn.Gate)
+}
+
+// NewSequencer returns a scheduler whose interleaving decisions replay
+// exactly for a given seed.
+func NewSequencer(seed int64) *Sequencer {
+	return &Sequencer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Turn is the scheduling handle passed to a worker body. All methods must be
+// called from that body's goroutine.
+type Turn struct {
+	w *seqWorker
+}
+
+// Tick charges cost virtual seconds to the worker's clock and yields to the
+// scheduler. The worker resumes when its clock is again the minimum among
+// runnable workers. Cost values below zero are treated as zero.
+func (t *Turn) Tick(cost float64) {
+	if cost > 0 {
+		t.w.clock += cost
+	}
+	t.w.parked <- struct{}{}
+	<-t.w.resume
+}
+
+// Clock returns the worker's accumulated virtual time.
+func (t *Turn) Clock() float64 { return t.w.clock }
+
+// Gate installs a readiness predicate: the scheduler will not resume this
+// worker while ready() reports false (evaluated between turns, on the
+// scheduler goroutine — the predicate must only read state that parked
+// workers cannot mutate). If every live worker is gated the scheduler
+// resumes the gated worker with the smallest clock anyway, so a cyclic gate
+// cannot deadlock the run; bounds expressed relative to the least-advanced
+// worker (the SSP discipline) therefore always make progress.
+func (t *Turn) Gate(ready func() bool) { t.w.ready = ready }
+
+// Go registers one worker body. Bodies do not start executing until Run.
+func (s *Sequencer) Go(fn func(t *Turn)) {
+	if s.started {
+		panic("pool: Sequencer.Go after Run")
+	}
+	w := &seqWorker{
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.workers = append(s.workers, w)
+	go func() {
+		<-w.resume
+		fn(&Turn{w: w})
+		w.done = true
+		w.parked <- struct{}{}
+	}()
+}
+
+// Run drives the registered workers to completion, one turn at a time, and
+// returns when every body has exited. It must be called exactly once.
+func (s *Sequencer) Run() {
+	if s.started {
+		panic("pool: Sequencer.Run called twice")
+	}
+	s.started = true
+	live := len(s.workers)
+	for live > 0 {
+		w := s.pick()
+		w.resume <- struct{}{}
+		<-w.parked
+		if w.done {
+			live--
+		}
+	}
+}
+
+// pick selects the next worker: the runnable (non-gated) live worker with
+// the minimum virtual clock, ties broken uniformly by the seeded RNG. When
+// every live worker is gated the minimum-clock gated worker is chosen, which
+// keeps relative-progress gates deadlock-free.
+func (s *Sequencer) pick() *seqWorker {
+	var best *seqWorker
+	nbest := 0
+	gatedPass := false
+	for {
+		for _, w := range s.workers {
+			if w.done {
+				continue
+			}
+			if !gatedPass && w.ready != nil && !w.ready() {
+				continue
+			}
+			switch {
+			case best == nil || w.clock < best.clock:
+				best, nbest = w, 1
+			case w.clock == best.clock:
+				nbest++
+				if s.rng.Intn(nbest) == 0 {
+					best = w
+				}
+			}
+		}
+		if best != nil {
+			return best
+		}
+		if gatedPass {
+			panic(fmt.Sprintf("pool: Sequencer.pick with no live workers (%d registered)", len(s.workers)))
+		}
+		gatedPass = true
+	}
+}
+
+// Makespan returns the maximum virtual clock over all workers: the virtual
+// wall-clock of the schedule, valid after Run. With per-update unit costs
+// and a straggler at factor F it reproduces the modeled epoch stretch the
+// chaos layer reports.
+func (s *Sequencer) Makespan() float64 {
+	var m float64
+	for _, w := range s.workers {
+		if w.clock > m {
+			m = w.clock
+		}
+	}
+	return m
+}
+
+// TotalWork returns the sum of all worker clocks (the ideal single-worker
+// virtual time), valid after Run.
+func (s *Sequencer) TotalWork() float64 {
+	var t float64
+	for _, w := range s.workers {
+		t += w.clock
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzCSRBuilder feeds the COO builder arbitrary triplet streams and checks
+// the assembled CSR against the full structural contract: Validate passes,
+// shape and nnz are consistent, and duplicate-summed totals are preserved.
+// Values are small integers so duplicate summation is exact and the total
+// check needs no tolerance.
+func FuzzCSRBuilder(f *testing.F) {
+	f.Add(3, 4, []byte{0, 0, 1, 1, 2, 2})
+	f.Add(1, 1, []byte{0, 0, 0, 0, 0, 0, 0, 0}) // duplicate summing
+	f.Add(5, 3, []byte{})                       // empty matrix
+	f.Add(2, 7, []byte{1, 6, 3, 1, 0, 2, 1, 6, 5})
+	f.Fuzz(func(t *testing.T, rows, cols int, stream []byte) {
+		// Clamp the shape: the builder's contract starts at a valid
+		// (rows, cols) box, and huge dimensions would just test the
+		// allocator. The triplet stream stays raw fuzzer input.
+		rows = 1 + abs(rows)%64
+		cols = 1 + abs(cols)%64
+		b := NewBuilder(rows, cols)
+		var total int64
+		counts := make(map[[2]int]bool)
+		for k := 0; k+2 < len(stream); k += 3 {
+			i := int(stream[k]) % rows
+			j := int(stream[k+1]) % cols
+			v := int64(stream[k+2]) - 128
+			b.Add(i, j, float64(v))
+			total += v
+			counts[[2]int{i, j}] = true
+		}
+		m := b.Build()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("built CSR fails Validate: %v", err)
+		}
+		if m.NumRows != rows || m.NumCols != cols {
+			t.Fatalf("shape changed: got %dx%d want %dx%d", m.NumRows, m.NumCols, rows, cols)
+		}
+		if m.NNZ() != len(counts) {
+			t.Fatalf("nnz %d, want %d distinct coordinates", m.NNZ(), len(counts))
+		}
+		var got int64
+		for _, v := range m.Values {
+			got += int64(v)
+		}
+		if got != total {
+			t.Fatalf("duplicate summing lost mass: got %d want %d", got, total)
+		}
+		// Per-row access must agree with the flat arrays.
+		var nnz int
+		for i := 0; i < rows; i++ {
+			c, v := m.Row(i)
+			if len(c) != len(v) || len(c) != m.RowNNZ(i) {
+				t.Fatalf("row %d views disagree: %d cols, %d vals, RowNNZ %d",
+					i, len(c), len(v), m.RowNNZ(i))
+			}
+			nnz += len(c)
+		}
+		if nnz != m.NNZ() {
+			t.Fatalf("row walk saw %d entries, NNZ says %d", nnz, m.NNZ())
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}
