@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 # stay safe under that).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/obs
+	$(GO) test -race ./internal/core ./internal/obs ./internal/serve
 
 # lint runs the static analyzers beyond vet. staticcheck and govulncheck
 # are optional locally (this module is stdlib-only and builds offline); CI
@@ -79,6 +79,21 @@ bench-paper:
 CHAOS_PLAN ?= storm
 chaos:
 	$(GO) run ./cmd/sgdchaos -plan $(CHAOS_PLAN) -out chaos-report.json
+
+# mdcheck verifies every relative link and heading anchor in the repo's
+# markdown docs (offline; external URLs are not fetched). Non-blocking in
+# CI's lint job, but cheap enough to run before any docs commit.
+mdcheck:
+	$(GO) run ./cmd/mdcheck .
+
+# serve-smoke is the serving A/B gate: train a small LR in-process, drive
+# the production serving stack batched (MaxBatch=64) and unbatched
+# (MaxBatch=1) at equal worker count, and fail unless micro-batching buys
+# at least 2x throughput. The report goes to a temp path so the run never
+# dirties the working tree.
+serve-smoke:
+	$(GO) run ./cmd/sgdload -inproc -duration 2s -conc 64 -check -min-speedup 2 \
+		-out $${SERVE_TMP:-$$(mktemp -t serve-smoke.XXXXXX.json)}
 
 # fuzz exercises the input-boundary fuzz targets for a bounded time each.
 # The minimize budget is capped: on a small box, minimizing a multi-KB

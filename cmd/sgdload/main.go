@@ -1,0 +1,419 @@
+// Command sgdload drives load at an sgdserve instance (or an in-process
+// serving core) and writes a JSON latency/throughput report.
+//
+// Usage:
+//
+//	sgdload -target http://localhost:8080 [-conc 8 | -rate 500] \
+//	        [-duration 5s] [-dataset covtype] [-maxn 2000] [-out report.json] [-check]
+//	sgdload -inproc [-duration 2s] [-conc 64] [-workers 0] [-max-batch 64] \
+//	        [-out report.json] [-check] [-min-speedup 2]
+//
+// Three modes:
+//
+//   - Closed loop (-conc N): N clients each keep exactly one request in
+//     flight; throughput is whatever the server sustains.
+//   - Open loop (-rate R): requests fire at R/s regardless of completions,
+//     exposing queueing collapse the closed loop hides.
+//   - In-process A/B (-inproc): trains a small covtype LR, then drives the
+//     serving core directly (no HTTP framing) twice at the same pool worker
+//     count — micro-batching enabled vs MaxBatch=1 — and reports the
+//     batched/unbatched throughput ratio. This is the repo's measured
+//     evidence for the serving half of the paper's batching tradeoff; `make
+//     serve-smoke` gates on speedup >= 2.
+//
+// The report embeds the server's /healthz payload (in-process: the
+// snapshot's own identity), so the core.Fingerprint discipline applies:
+// reports are only comparable when the fingerprints match. -check makes
+// sanity assertions (every request accounted for, nonzero throughput,
+// ordered quantiles) and -min-speedup gates the A/B ratio; failures exit 1.
+// Exit status: 0 ok, 1 load or check failure, 2 usage error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runReport is one measured load phase.
+type runReport struct {
+	Mode          string  `json:"mode"` // closed|open|inproc-batched|inproc-unbatched
+	DurationS     float64 `json:"duration_s"`
+	Sent          int64   `json:"sent"`
+	OK            int64   `json:"ok"`
+	Rejected      int64   `json:"rejected"` // HTTP 429 / ErrOverloaded
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	AvgBatch      float64 `json:"avg_batch,omitempty"` // in-process only
+}
+
+// report is the JSON document sgdload writes.
+type report struct {
+	Target    string        `json:"target,omitempty"`
+	Server    *serve.Health `json:"server,omitempty"` // /healthz at run start
+	Runs      []runReport   `json:"runs"`
+	Speedup   float64       `json:"batched_speedup,omitempty"`
+	CheckedOK bool          `json:"checked_ok,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target     = fs.String("target", "http://localhost:8080", "sgdserve base URL")
+		conc       = fs.Int("conc", 8, "closed-loop concurrent clients (also the in-process caller count)")
+		rate       = fs.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+		duration   = fs.Duration("duration", 5*time.Second, "measurement length per run")
+		dataset    = fs.String("dataset", "covtype", "dataset whose rows become request payloads")
+		maxN       = fs.Int("maxn", 2000, "examples generated for payloads (and in-process training)")
+		seed       = fs.Int64("seed", 1, "payload sampling (and in-process training) seed")
+		inproc     = fs.Bool("inproc", false, "run the in-process batched vs unbatched A/B instead of HTTP load")
+		workers    = fs.Int("workers", 0, "in-process pool workers per dispatch, equal in both phases (0 = pool size)")
+		maxBatch   = fs.Int("max-batch", 64, "in-process batched phase's micro-batch bound")
+		pretrain   = fs.Int("pretrain", 3, "in-process Hogwild epochs before measuring")
+		outPath    = fs.String("out", "-", "write the JSON report here (- = stdout)")
+		check      = fs.Bool("check", false, "assert report sanity; exit 1 on violation")
+		minSpeedup = fs.Float64("min-speedup", 0, "with -check and -inproc: minimum batched/unbatched throughput ratio")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec, err := data.Lookup(*dataset)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdload: %v\n", err)
+		return 2
+	}
+	if *maxN > 0 && *maxN < spec.N {
+		spec = spec.Scaled(float64(*maxN) / float64(spec.N))
+	}
+	ds := data.Generate(spec)
+
+	var rep report
+	if *inproc {
+		rep = runInproc(ds, *conc, *workers, *maxBatch, *pretrain, *duration, *seed)
+	} else {
+		rep, err = runHTTP(ds, *target, *conc, *rate, *duration, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdload: %v\n", err)
+			return 1
+		}
+	}
+
+	if *check {
+		if err := checkReport(&rep, *inproc, *minSpeedup); err != nil {
+			fmt.Fprintf(stderr, "sgdload: check failed: %v\n", err)
+			emit(stderr, &rep, "-")
+			return 1
+		}
+		rep.CheckedOK = true
+	}
+	for _, r := range rep.Runs {
+		fmt.Fprintf(stderr, "sgdload: %-16s %8.0f req/s  p50 %6.3fms  p99 %6.3fms  (%d ok, %d rejected, %d errors)\n",
+			r.Mode, r.ThroughputRPS, r.LatencyP50Ms, r.LatencyP99Ms, r.OK, r.Rejected, r.Errors)
+	}
+	if rep.Speedup > 0 {
+		fmt.Fprintf(stderr, "sgdload: batched/unbatched speedup %.2fx at equal worker count\n", rep.Speedup)
+	}
+	if err := emit(stdout, &rep, *outPath); err != nil {
+		fmt.Fprintf(stderr, "sgdload: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// emit writes the report JSON to path ("-" = w).
+func emit(w io.Writer, rep *report, path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" || path == "" {
+		_, err = w.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// quantiles fills a runReport's latency fields from raw seconds samples.
+func (r *runReport) quantiles(lat []float64) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Float64s(lat)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i] * 1e3
+	}
+	r.LatencyP50Ms = at(0.50)
+	r.LatencyP90Ms = at(0.90)
+	r.LatencyP99Ms = at(0.99)
+	r.LatencyMaxMs = lat[len(lat)-1] * 1e3
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	r.LatencyMeanMs = sum / float64(len(lat)) * 1e3
+}
+
+// payloads pre-renders dataset rows as /predict JSON bodies.
+func payloads(ds *data.Dataset, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		cols, vals := ds.X.Row(rng.Intn(ds.N()))
+		body, _ := json.Marshal(map[string]any{"indices": cols, "values": vals})
+		out[i] = body
+	}
+	return out
+}
+
+// runHTTP measures one closed- or open-loop run against a live sgdserve.
+func runHTTP(ds *data.Dataset, target string, conc int, rate float64, dur time.Duration, seed int64) (report, error) {
+	target = strings.TrimSuffix(target, "/")
+	health, err := fetchHealth(target)
+	if err != nil {
+		return report{}, err
+	}
+	bodies := payloads(ds, 256, seed)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		sent, ok, rejected, errs atomic.Int64
+		mu                       sync.Mutex
+		lat                      []float64
+	)
+	shoot := func(body []byte) {
+		start := time.Now()
+		resp, err := client.Post(target+"/predict", "application/json", bytes.NewReader(body))
+		el := time.Since(start).Seconds()
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ok.Add(1)
+			mu.Lock()
+			lat = append(lat, el)
+			mu.Unlock()
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+		default:
+			errs.Add(1)
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	mode := "closed"
+	if rate > 0 {
+		mode = "open"
+		tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer tick.Stop()
+		i := 0
+		for now := range tick.C {
+			if now.After(deadline) {
+				break
+			}
+			sent.Add(1)
+			wg.Add(1)
+			go func(b []byte) { defer wg.Done(); shoot(b) }(bodies[i%len(bodies)])
+			i++
+		}
+	} else {
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; time.Now().Before(deadline); i++ {
+					sent.Add(1)
+					shoot(bodies[i%len(bodies)])
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rr := runReport{
+		Mode: mode, DurationS: elapsed,
+		Sent: sent.Load(), OK: ok.Load(), Rejected: rejected.Load(), Errors: errs.Load(),
+		ThroughputRPS: float64(ok.Load()) / elapsed,
+	}
+	rr.quantiles(lat)
+	return report{Target: target, Server: health, Runs: []runReport{rr}}, nil
+}
+
+// fetchHealth embeds the server identity in the report.
+func fetchHealth(target string) (*serve.Health, error) {
+	resp, err := http.Get(target + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s/healthz: %w", target, err)
+	}
+	defer resp.Body.Close()
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("parse /healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return nil, fmt.Errorf("server not ready: status %q", h.Status)
+	}
+	return &h, nil
+}
+
+// runInproc trains a covtype-style LR and measures the same serving core
+// config twice — batched and MaxBatch=1 — at equal pool worker count.
+func runInproc(ds *data.Dataset, conc, workers, maxBatch, pretrain int, dur time.Duration, seed int64) report {
+	m := model.NewLR(ds.D())
+	w := m.InitParams(seed)
+	eng := core.NewHogwild(m, ds, 0.05, 4)
+	core.Seed(eng, seed)
+	for e := 0; e < pretrain; e++ {
+		eng.RunEpoch(w)
+	}
+	store := serve.NewStore()
+	store.PublishWeights(w, serve.Snapshot{
+		Model: m.Name(), Dim: ds.D(),
+		Epoch: pretrain, Loss: model.MeanLoss(m, w, ds),
+		Fingerprint: core.Fingerprint{
+			Engine: eng.Name(), Model: m.Name(), Dataset: ds.Name,
+			N: ds.N(), Threads: 4, Seed: seed,
+		},
+	})
+
+	measure := func(mode string, batch int) runReport {
+		// Both phases run the full production serving stack — including the
+		// per-batch obs instrumentation sgdserve always has on — so the only
+		// difference between them is MaxBatch.
+		agg := obs.NewAggregator()
+		c := serve.NewCore(m, store, serve.Config{
+			MaxBatch: batch, MaxDelay: 2 * time.Millisecond,
+			QueueDepth: 8 * conc, Workers: workers,
+			Rec: agg.Run(mode, ds.Name),
+		})
+		defer c.Close()
+		var (
+			ok, rejected, errs atomic.Int64
+			mu                 sync.Mutex
+			lat                []float64
+		)
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for k := 0; k < conc; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(k)))
+				var myLat []float64
+				for time.Now().Before(deadline) {
+					cols, vals := ds.X.Row(rng.Intn(ds.N()))
+					t0 := time.Now()
+					_, err := c.Predict(cols, vals)
+					switch err {
+					case nil:
+						ok.Add(1)
+						myLat = append(myLat, time.Since(t0).Seconds())
+					case serve.ErrOverloaded:
+						rejected.Add(1)
+					default:
+						errs.Add(1)
+					}
+				}
+				mu.Lock()
+				lat = append(lat, myLat...)
+				mu.Unlock()
+			}(k)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		rr := runReport{
+			Mode: mode, DurationS: elapsed,
+			Sent: ok.Load() + rejected.Load() + errs.Load(),
+			OK:   ok.Load(), Rejected: rejected.Load(), Errors: errs.Load(),
+			ThroughputRPS: float64(ok.Load()) / elapsed,
+			AvgBatch:      c.Stats().Snapshot().AvgBatch,
+		}
+		rr.quantiles(lat)
+		return rr
+	}
+
+	batched := measure("inproc-batched", maxBatch)
+	unbatched := measure("inproc-unbatched", 1)
+
+	sn := store.Load()
+	health := &serve.Health{
+		Status: "ok", Model: sn.Model, ModelVersion: sn.Version,
+		Epoch: sn.Epoch, Loss: sn.Loss,
+		Fingerprint: sn.Fingerprint.String(), FingerprintKey: sn.Fingerprint.Key(),
+		MaxBatch: maxBatch, Workers: workers,
+	}
+	rep := report{Server: health, Runs: []runReport{batched, unbatched}}
+	if unbatched.ThroughputRPS > 0 {
+		rep.Speedup = batched.ThroughputRPS / unbatched.ThroughputRPS
+	}
+	return rep
+}
+
+// checkReport asserts the sanity the smoke gate relies on.
+func checkReport(rep *report, inproc bool, minSpeedup float64) error {
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("no runs measured")
+	}
+	for _, r := range rep.Runs {
+		if r.OK == 0 {
+			return fmt.Errorf("%s: no request succeeded", r.Mode)
+		}
+		if r.Errors > 0 {
+			return fmt.Errorf("%s: %d requests errored", r.Mode, r.Errors)
+		}
+		if r.OK+r.Rejected+r.Errors != r.Sent && !inproc {
+			return fmt.Errorf("%s: %d sent but %d accounted for", r.Mode,
+				r.Sent, r.OK+r.Rejected+r.Errors)
+		}
+		if r.ThroughputRPS <= 0 {
+			return fmt.Errorf("%s: nonpositive throughput", r.Mode)
+		}
+		if r.LatencyP50Ms > r.LatencyP99Ms || r.LatencyP99Ms > r.LatencyMaxMs {
+			return fmt.Errorf("%s: quantiles out of order (p50 %.3f, p99 %.3f, max %.3f)",
+				r.Mode, r.LatencyP50Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+		}
+	}
+	if rep.Server == nil || rep.Server.FingerprintKey == "" {
+		return fmt.Errorf("report carries no server fingerprint")
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("batched speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// startTestServer serves a tiny LR through the real serve stack.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	store := serve.NewStore()
+	w := make([]float64, 54)
+	for i := range w {
+		w[i] = 0.01 * float64(i)
+	}
+	store.Publish(&serve.Snapshot{Model: "lr", Dim: 54, Weights: w})
+	c := serve.NewCore(model.NewLR(54), store, serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond})
+	srv := httptest.NewServer(serve.NewServer(c).Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return srv.URL
+}
+
+func TestRunClosedLoopHTTP(t *testing.T) {
+	url := startTestServer(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", url, "-conc", "4", "-duration", "300ms",
+		"-maxn", "300", "-out", out, "-check",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if !rep.CheckedOK || len(rep.Runs) != 1 || rep.Runs[0].OK == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Runs[0].Mode != "closed" {
+		t.Fatalf("mode = %q, want closed", rep.Runs[0].Mode)
+	}
+	if rep.Server == nil || rep.Server.Model != "lr" {
+		t.Fatalf("report lacks server identity: %+v", rep.Server)
+	}
+}
+
+func TestRunOpenLoopHTTP(t *testing.T) {
+	url := startTestServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", url, "-rate", "200", "-duration", "300ms",
+		"-maxn", "300", "-out", "-",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Mode != "open" || rep.Runs[0].OK == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunInprocReportsSpeedupAndFingerprint(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-inproc", "-duration", "150ms", "-conc", "8",
+		"-maxn", "300", "-out", "-", "-check",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v", err)
+	}
+	if len(rep.Runs) != 2 || rep.Speedup <= 0 {
+		t.Fatalf("A/B report = %+v", rep)
+	}
+	if rep.Server == nil || rep.Server.FingerprintKey == "" {
+		t.Fatal("in-process report lacks the training fingerprint")
+	}
+	if rep.Runs[0].AvgBatch <= rep.Runs[1].AvgBatch {
+		t.Fatalf("batched avg batch %.2f should exceed unbatched %.2f",
+			rep.Runs[0].AvgBatch, rep.Runs[1].AvgBatch)
+	}
+}
+
+func TestRunTargetDown(t *testing.T) {
+	// A refused connection must fail cleanly, not hang or panic.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-target", dead.URL, "-duration", "100ms", "-maxn", "300"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("dead target: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{{"-dataset", "nonesuch"}, {"-bogus"}} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

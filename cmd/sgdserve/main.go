@@ -1,0 +1,261 @@
+// Command sgdserve serves model predictions over HTTP with snapshot
+// hot-swap and request micro-batching (internal/serve).
+//
+// Usage:
+//
+//	sgdserve [-addr :8080] [-model lr|svm|mlp] [-dataset covtype] [-maxn 2000]
+//	         [-pretrain 5] [-train] [-epochs 0] [-threads 4] [-step 0.05]
+//	         [-publish-every 1] [-eval-every 0]
+//	         [-snapshot snap.json] [-save-snapshot snap.json]
+//	         [-max-batch 64] [-max-delay 2ms] [-queue 0] [-workers 0]
+//	         [-chaos-plan storm] [-chaos-intensity 1] [-seed 1]
+//	         [-serve-for 0] [-trace serve.jsonl] [-debug-addr :6060] [-quiet]
+//
+// Two modes:
+//
+//   - Offline (default): train -pretrain Hogwild epochs on the generated
+//     dataset (or load -snapshot instead), publish once, serve that fixed
+//     model.
+//   - Online (-train): a background Hogwild trainer keeps running, hot-
+//     swapping a fresh immutable snapshot into the serving path every
+//     -publish-every epochs while requests are in flight.
+//
+// Endpoints: POST /predict, GET /healthz, /stats, /metrics (serving stats
+// plus the training aggregator's families). -debug-addr additionally serves
+// expvar ("sgd_obs") and net/http/pprof like the other binaries; -trace
+// streams one JSONL event per dispatched micro-batch for cmd/sgdtrace.
+// -serve-for bounds the serving time (for smoke tests); otherwise sgdserve
+// runs until SIGINT/SIGTERM. Exit status: 0 clean shutdown, 1 runtime
+// failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "HTTP listen address (host:0 picks a free port)")
+		modelName    = fs.String("model", "lr", "served model: lr|svm|mlp")
+		dataset      = fs.String("dataset", "covtype", "registry dataset the model trains on")
+		maxN         = fs.Int("maxn", 2000, "examples generated for training")
+		pretrain     = fs.Int("pretrain", 5, "offline mode: Hogwild epochs before serving")
+		train        = fs.Bool("train", false, "online mode: keep training and hot-swapping snapshots while serving")
+		epochs       = fs.Int("epochs", 0, "online mode: stop publishing after this many epochs (0 = until shutdown)")
+		threads      = fs.Int("threads", 4, "Hogwild trainer threads")
+		step         = fs.Float64("step", 0.05, "SGD step size")
+		publishEvery = fs.Int("publish-every", 1, "online mode: epochs between snapshot publishes")
+		evalEvery    = fs.Int("eval-every", 0, "online mode: epochs between training-loss evaluations (0 = never)")
+		snapshotPath = fs.String("snapshot", "", "serve this saved snapshot instead of training")
+		savePath     = fs.String("save-snapshot", "", "write the final served snapshot here on shutdown")
+		maxBatch     = fs.Int("max-batch", 64, "largest inference micro-batch (1 disables batching)")
+		maxDelay     = fs.Duration("max-delay", 2*time.Millisecond, "deadline before a partial batch flushes")
+		queueDepth   = fs.Int("queue", 0, "admission queue bound (0 = 8x max-batch)")
+		workers      = fs.Int("workers", 0, "pool workers per batch dispatch (0 = pool size)")
+		chaosPlan    = fs.String("chaos-plan", "", "inject this named fault plan into the serving path")
+		intensity    = fs.Float64("chaos-intensity", 1, "fault plan intensity multiplier")
+		seed         = fs.Int64("seed", 1, "seed for init params, shuffles and fault streams")
+		serveFor     = fs.Duration("serve-for", 0, "shut down after this long (0 = until SIGINT/SIGTERM)")
+		tracePath    = fs.String("trace", "", "write a JSONL serving trace (one event per micro-batch)")
+		debugAddr    = fs.String("debug-addr", "", "serve expvar, pprof and aggregator /metrics on this address")
+		quiet        = fs.Bool("quiet", false, "suppress startup logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "sgdserve: "+format+"\n", a...)
+		}
+	}
+
+	spec, err := data.Lookup(*dataset)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+		return 2
+	}
+	if *maxN > 0 && *maxN < spec.N {
+		spec = spec.Scaled(float64(*maxN) / float64(spec.N))
+	}
+	ds := data.Generate(spec)
+
+	var m model.Scorer
+	switch *modelName {
+	case "lr":
+		m = model.NewLR(ds.D())
+	case "svm":
+		m = model.NewSVM(ds.D())
+	case "mlp":
+		m = model.NewMLPFor(spec)
+	default:
+		fmt.Fprintf(stderr, "sgdserve: unknown model %q (lr|svm|mlp)\n", *modelName)
+		return 2
+	}
+
+	var plan chaos.Plan
+	if *chaosPlan != "" {
+		p, err := chaos.Lookup(*chaosPlan)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 2
+		}
+		plan = p.Scale(*intensity)
+	}
+
+	agg := obs.NewAggregator()
+	rec := agg.Run("serve", spec.Name)
+	var trace *obs.TraceWriter
+	if *tracePath != "" {
+		trace, err = obs.CreateTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 1
+		}
+		defer trace.Close()
+		rec = obs.Tee(rec, trace.Run("serve", spec.Name))
+	}
+
+	eng := core.NewHogwild(m, ds, *step, *threads)
+	core.Seed(eng, *seed)
+	fp := core.Fingerprint{
+		Engine: eng.Name(), Model: m.Name(), Dataset: spec.Name,
+		N: ds.N(), Threads: *threads, Seed: *seed,
+	}
+	meta := serve.Snapshot{Model: m.Name(), Dim: ds.D(), Fingerprint: fp}
+
+	store := serve.NewStore()
+	w := m.InitParams(*seed)
+	switch {
+	case *snapshotPath != "":
+		sn, err := serve.LoadSnapshotFile(*snapshotPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 1
+		}
+		if len(sn.Weights) != m.NumParams() {
+			fmt.Fprintf(stderr, "sgdserve: snapshot has %d weights, %s/%s needs %d\n",
+				len(sn.Weights), *modelName, *dataset, m.NumParams())
+			return 1
+		}
+		store.Publish(sn)
+		logf("serving snapshot %s (model %s, epoch %d)", *snapshotPath, sn.Model, sn.Epoch)
+	case *train:
+		logf("online mode: %s, publishing every %d epoch(s)", fp, *publishEvery)
+	default:
+		for e := 0; e < *pretrain; e++ {
+			eng.RunEpoch(w)
+		}
+		meta.Epoch = *pretrain
+		meta.Loss = model.MeanLoss(m, w, ds)
+		store.PublishWeights(w, meta)
+		logf("pretrained %d epochs of %s (loss %.4f)", *pretrain, fp, meta.Loss)
+	}
+
+	c := serve.NewCore(m, store, serve.Config{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueDepth: *queueDepth,
+		Workers: *workers, Rec: rec, Plan: plan, ChaosSeed: *seed,
+	})
+	defer c.Close()
+
+	stopTrainer := make(chan struct{})
+	trainerDone := make(chan struct{})
+	if *train && *snapshotPath == "" {
+		tr := &serve.Trainer{
+			Engine: eng, Model: m, Data: ds, Store: store, W: w,
+			PublishEvery: *publishEvery, EvalEvery: *evalEvery,
+			MaxEpochs: *epochs, Meta: meta,
+		}
+		go func() { defer close(trainerDone); tr.Run(stopTrainer) }()
+	} else {
+		close(trainerDone)
+	}
+
+	srv := serve.NewServer(c)
+	srv.SetExtraMetrics(agg.Snapshot)
+	boundAddr, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+		return 1
+	}
+	cfg := c.Config()
+	logf("listening on %s (max-batch %d, max-delay %s, queue %d, workers %d)",
+		boundAddr, cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.Workers)
+	if plan.Active() {
+		logf("fault plan active: %s", plan)
+	}
+
+	if *debugAddr != "" {
+		if expvar.Get("sgd_obs") == nil {
+			expvar.Publish("sgd_obs", expvar.Func(agg.Export))
+		}
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "sgdserve: debug server: %v\n", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if *serveFor > 0 {
+		select {
+		case <-time.After(*serveFor):
+			logf("serve-for %s elapsed", *serveFor)
+		case s := <-sig:
+			logf("received %s", s)
+		}
+	} else {
+		logf("received %s", <-sig)
+	}
+
+	close(stopTrainer)
+	<-trainerDone
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "sgdserve: shutdown: %v\n", err)
+	}
+
+	rep := c.Stats().Snapshot()
+	fmt.Fprintf(stdout, "served %d requests in %d batches (avg %.1f/batch), %d rejected, %d snapshot swaps, p99 %.3fms\n",
+		rep.Requests, rep.Batches, rep.AvgBatch, rep.Rejected, rep.Swaps,
+		rep.LatencyP99*1e3)
+
+	if *savePath != "" {
+		sn := store.Load()
+		if sn == nil {
+			fmt.Fprintln(stderr, "sgdserve: no snapshot to save")
+			return 1
+		}
+		if err := serve.SaveSnapshot(*savePath, sn); err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 1
+		}
+		logf("snapshot v%d saved to %s", sn.Version, *savePath)
+	}
+	return 0
+}

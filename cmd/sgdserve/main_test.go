@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunOfflineServeForAndSnapshotRoundtrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "127.0.0.1:0", "-maxn", "300", "-pretrain", "2",
+		"-serve-for", "200ms", "-save-snapshot", snap, "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "served 0 requests") {
+		t.Errorf("missing summary line:\n%s", stdout.String())
+	}
+	// The saved snapshot must serve again as-is.
+	var stdout2, stderr2 bytes.Buffer
+	code = run([]string{
+		"-addr", "127.0.0.1:0", "-snapshot", snap,
+		"-serve-for", "100ms", "-quiet",
+	}, &stdout2, &stderr2)
+	if code != 0 {
+		t.Fatalf("serving saved snapshot: exit %d, stderr:\n%s", code, stderr2.String())
+	}
+}
+
+func TestRunOnlineModeHotSwaps(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "127.0.0.1:0", "-maxn", "300", "-train", "-eval-every", "2",
+		"-serve-for", "300ms", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	m := regexp.MustCompile(`(\d+) snapshot swaps`).FindStringSubmatch(stdout.String())
+	if m == nil {
+		t.Fatalf("no swap count in summary:\n%s", stdout.String())
+	}
+	if swaps, _ := strconv.Atoi(m[1]); swaps < 2 {
+		t.Errorf("online mode hot-swapped %d times, want >= 2 (initial + per-epoch):\n%s",
+			swaps, stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "tree"},
+		{"-dataset", "nonesuch"},
+		{"-chaos-plan", "nonesuch"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func TestRunSnapshotDimMismatch(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	b, _ := json.Marshal(map[string]any{"model": "lr", "dim": 3, "weights": []float64{1, 2, 3}})
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-snapshot", snap, "-maxn", "300", "-quiet"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("mismatched snapshot: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "weights") {
+		t.Errorf("unhelpful error: %s", stderr.String())
+	}
+}

@@ -62,6 +62,12 @@ func (m *LR) SGDStep(w []float64, ds *data.Dataset, i int, step float64, upd Upd
 // GradSupport implements Model.
 func (m *LR) GradSupport(ds *data.Dataset, i int) int { return ds.X.RowNNZ(i) }
 
+// Score implements Scorer: the margin w.x, whose sigmoid is the class-+1
+// probability.
+func (m *LR) Score(w []float64, ds *data.Dataset, i int, _ Scratch) float64 {
+	return ds.X.RowDot(i, w)
+}
+
 // BatchGrad implements BatchModel with the ViennaCL-style primitive
 // sequence: margins = X*w (SpMV), per-example coefficients (element-wise
 // map), g = X^T*coef / n (SpMV-transpose + scal).
@@ -94,4 +100,5 @@ func (m *LR) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []flo
 var (
 	_ Model      = (*LR)(nil)
 	_ BatchModel = (*LR)(nil)
+	_ Scorer     = (*LR)(nil)
 )

@@ -244,6 +244,24 @@ func (m *MLP) applyGrads(ds *data.Dataset, i int, scr *mlpScratch, emit func(idx
 	}
 }
 
+// Score implements Scorer: the log-odds log(p₊/p₋) of the softmax output,
+// so sign(score) is the predicted label and sigmoid(score) recovers the
+// class-+1 probability (softmax over two classes is exactly a sigmoid of the
+// logit difference). Probabilities are floored to keep the ratio finite on
+// saturated outputs.
+func (m *MLP) Score(w []float64, ds *data.Dataset, i int, scr Scratch) float64 {
+	s := scr.(*mlpScratch)
+	probs := m.forward(w, ds, i, s)
+	p0, p1 := probs[0], probs[1]
+	if p0 < 1e-300 {
+		p0 = 1e-300
+	}
+	if p1 < 1e-300 {
+		p1 = 1e-300
+	}
+	return math.Log(p1 / p0)
+}
+
 // GradSupport implements Model: the input layer touches nnz(x) * h1
 // components, all other layers are dense.
 func (m *MLP) GradSupport(ds *data.Dataset, i int) int {
@@ -258,4 +276,5 @@ func (m *MLP) GradSupport(ds *data.Dataset, i int) int {
 var (
 	_ Model      = (*MLP)(nil)
 	_ BatchModel = (*MLP)(nil)
+	_ Scorer     = (*MLP)(nil)
 )

@@ -156,6 +156,20 @@ type Ops interface {
 	RowsMap(m *tensor.Matrix, f func(i int, row []float64))
 }
 
+// Scorer extends Model with inference: a real-valued decision score for one
+// example, positive for class +1. For LR and SVM the score is the margin
+// w.x (so sigmoid(score) is the LR class probability); for the MLP it is the
+// log-odds log(p₊/p₋) of the softmax output, which gives every model the
+// same sign-decides-label, sigmoid-calibrates-probability contract the
+// serving layer (internal/serve) relies on. Score must be safe to call from
+// concurrent goroutines sharing w, each with its own Scratch — the same
+// discipline as ExampleLoss.
+type Scorer interface {
+	Model
+	// Score returns the decision score of example i under w.
+	Score(w []float64, ds *data.Dataset, i int, scr Scratch) float64
+}
+
 // BatchModel extends Model with the synchronous batch-gradient formulation.
 type BatchModel interface {
 	Model

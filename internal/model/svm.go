@@ -63,6 +63,12 @@ func (m *SVM) SGDStep(w []float64, ds *data.Dataset, i int, step float64, upd Up
 // GradSupport implements Model.
 func (m *SVM) GradSupport(ds *data.Dataset, i int) int { return ds.X.RowNNZ(i) }
 
+// Score implements Scorer: the margin w.x (the SVM decision value; no
+// probability calibration is implied).
+func (m *SVM) Score(w []float64, ds *data.Dataset, i int, _ Scratch) float64 {
+	return ds.X.RowDot(i, w)
+}
+
 // BatchGrad implements BatchModel: margins = X*w, hinge coefficients as an
 // element-wise kernel, g = X^T*coef / n.
 func (m *SVM) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64 {
@@ -96,4 +102,5 @@ func (m *SVM) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []fl
 var (
 	_ Model      = (*SVM)(nil)
 	_ BatchModel = (*SVM)(nil)
+	_ Scorer     = (*SVM)(nil)
 )

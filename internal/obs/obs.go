@@ -127,6 +127,18 @@ const (
 	// degradation path: the barrier proceeded before every worker
 	// reported).
 	CounterChaosShortfall
+	// CounterServeRequests counts prediction requests admitted by the
+	// inference micro-batcher (internal/serve).
+	CounterServeRequests
+	// CounterServeRejected counts prediction requests refused at admission
+	// because the bounded queue was full (the HTTP 429 backpressure path).
+	CounterServeRejected
+	// CounterServeBatches counts micro-batches the serving path dispatched
+	// (requests/batches is the achieved amortisation factor).
+	CounterServeBatches
+	// CounterServeSwaps counts model-snapshot hot-swaps published to the
+	// serving atomic-pointer store.
+	CounterServeSwaps
 	numCounters
 )
 
@@ -163,6 +175,14 @@ func (c Counter) String() string {
 		return "chaos_straggled"
 	case CounterChaosShortfall:
 		return "chaos_shortfall"
+	case CounterServeRequests:
+		return "serve_requests"
+	case CounterServeRejected:
+		return "serve_rejected"
+	case CounterServeBatches:
+		return "serve_batches"
+	case CounterServeSwaps:
+		return "serve_swaps"
 	}
 	return "unknown"
 }
@@ -193,6 +213,17 @@ const (
 	// MetricChaosSlowdown is the per-epoch modeled-time stretch a fault
 	// plan inflicted (faulted epoch seconds / healthy epoch seconds).
 	MetricChaosSlowdown
+	// MetricServeBatchSize is the request count of one dispatched inference
+	// micro-batch (internal/serve).
+	MetricServeBatchSize
+	// MetricServeQueueDepth is the admission-queue depth sampled at each
+	// micro-batch dispatch.
+	MetricServeQueueDepth
+	// MetricServeLatency is one request's end-to-end serving latency in
+	// host seconds (queue wait + batch compute); quantiles come from the
+	// serving layer's own histogram, this distribution carries
+	// count/sum/min/max into traces.
+	MetricServeLatency
 	numMetrics
 )
 
@@ -207,6 +238,12 @@ func (m Metric) String() string {
 		return "worker_share"
 	case MetricChaosSlowdown:
 		return "chaos_slowdown"
+	case MetricServeBatchSize:
+		return "serve_batch_size"
+	case MetricServeQueueDepth:
+		return "serve_queue_depth"
+	case MetricServeLatency:
+		return "serve_latency_seconds"
 	}
 	return "unknown"
 }

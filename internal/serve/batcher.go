@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// Result is one request's prediction.
+type Result struct {
+	// Label is the predicted class in {-1, +1} (sign of Score).
+	Label float64 `json:"label"`
+	// Score is the model's decision score (margin / log-odds; see
+	// model.Scorer).
+	Score float64 `json:"score"`
+	// Prob is sigmoid(Score): the class-+1 probability for LR and MLP; for
+	// SVM it is a monotone but uncalibrated confidence.
+	Prob float64 `json:"prob"`
+	// Version is the snapshot version the request was scored against.
+	Version int64 `json:"model_version"`
+	// BatchSize is how many requests rode in the same micro-batch.
+	BatchSize int `json:"batch_size"`
+	// QueueWait is time from admission to batch dispatch.
+	QueueWait time.Duration `json:"-"`
+}
+
+// request is one queued prediction. Instances are recycled through
+// Core.reqPool; the done channel (buffered 1) carries the completion signal
+// across reuses.
+type request struct {
+	cols []int32
+	vals []float64
+
+	enqueued time.Time
+	res      Result
+	err      error
+	done     chan struct{}
+}
+
+// Predict scores one example (cols/vals are the sparse feature vector; for
+// dense inputs pass cols 0..d-1) against the current snapshot, riding
+// whatever micro-batch the dispatcher forms. It blocks until the batch
+// flushes — at most MaxDelay plus the batch compute time — and is safe for
+// arbitrary concurrent callers; that concurrency is exactly what fills
+// batches.
+func (c *Core) Predict(cols []int32, vals []float64) (Result, error) {
+	sn := c.store.Load()
+	if sn == nil {
+		return Result{}, ErrNoModel
+	}
+	if len(cols) != len(vals) {
+		return Result{}, ErrBadFeatures
+	}
+	for _, col := range cols {
+		if col < 0 || int(col) >= sn.Dim {
+			return Result{}, ErrBadFeatures
+		}
+	}
+	r := c.reqPool.Get().(*request)
+	r.cols, r.vals = cols, vals
+	r.err = nil
+	r.enqueued = time.Now()
+	select {
+	case c.queue <- r:
+		c.stats.requests.Add(1)
+	case <-c.stop:
+		c.reqPool.Put(r)
+		return Result{}, ErrClosed
+	default:
+		c.reqPool.Put(r)
+		c.stats.rejected.Add(1)
+		c.rec.Add(obs.CounterServeRejected, 1)
+		return Result{}, ErrOverloaded
+	}
+	select {
+	case <-r.done:
+		res, err := r.res, r.err
+		r.cols, r.vals = nil, nil
+		c.reqPool.Put(r)
+		return res, err
+	case <-c.done:
+		// Dispatcher exited; a completion signal sent before it closed may
+		// still be buffered.
+		select {
+		case <-r.done:
+			res, err := r.res, r.err
+			return res, err
+		default:
+			return Result{}, ErrClosed
+		}
+	}
+}
+
+// batchArena holds the dispatcher-owned buffers a flush assembles the
+// micro-batch into: one CSR over all request rows plus a Dataset view, so
+// the scoring path reuses the training-side Model API unchanged and the
+// steady state allocates nothing (the internal/pool discipline).
+type batchArena struct {
+	rowptr []int64
+	colidx []int32
+	values []float64
+	labels []float64
+	csr    sparse.CSR
+	ds     data.Dataset
+}
+
+// assemble builds the batch CSR from the requests' feature rows.
+func (a *batchArena) assemble(batch []*request, dim int) {
+	a.rowptr = a.rowptr[:0]
+	a.colidx = a.colidx[:0]
+	a.values = a.values[:0]
+	a.labels = a.labels[:0]
+	a.rowptr = append(a.rowptr, 0)
+	for _, r := range batch {
+		a.colidx = append(a.colidx, r.cols...)
+		a.values = append(a.values, r.vals...)
+		a.rowptr = append(a.rowptr, int64(len(a.colidx)))
+		a.labels = append(a.labels, 1)
+	}
+	a.csr = sparse.CSR{
+		NumRows: len(batch), NumCols: dim,
+		RowPtr: a.rowptr, ColIdx: a.colidx, Values: a.values,
+	}
+	a.ds = data.Dataset{Name: "serve", X: &a.csr, Y: a.labels}
+}
+
+// scoreTask scores request rows [lo, hi) of the assembled batch; chunks run
+// concurrently on the pool, each with its own model scratch.
+type scoreTask struct {
+	c      *Core
+	w      []float64
+	ds     *data.Dataset
+	batch  []*request
+	scores []float64
+}
+
+func (t *scoreTask) Run(lo, hi int) {
+	scr := t.c.scratch.Get()
+	for i := lo; i < hi; i++ {
+		t.scores[i] = t.c.scorer.Score(t.w, t.ds, i, scr)
+	}
+	t.c.scratch.Put(scr)
+}
+
+// dispatch is the batcher loop: collect a micro-batch (flush on MaxBatch or
+// the MaxDelay deadline, whichever first), score it through the pool,
+// complete the requests. One dispatcher goroutine owns the arena and the
+// fault streams; scoring parallelism comes from the pool.
+func (c *Core) dispatch() {
+	defer close(c.done)
+	var (
+		arena   batchArena
+		task    scoreTask
+		batch   = make([]*request, 0, c.cfg.MaxBatch)
+		scores  = make([]float64, c.cfg.MaxBatch)
+		timer   = time.NewTimer(time.Hour)
+		lastVer int64
+	)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			c.drainClosed()
+			return
+		case r := <-c.queue:
+			batch = append(batch[:0], r)
+			if c.cfg.MaxBatch > 1 {
+				timer.Reset(c.cfg.MaxDelay)
+				fired := false
+			fill:
+				for len(batch) < c.cfg.MaxBatch {
+					select {
+					case r2 := <-c.queue:
+						batch = append(batch, r2)
+					case <-timer.C:
+						fired = true
+						break fill
+					case <-c.stop:
+						break fill
+					}
+				}
+				if !fired && !timer.Stop() {
+					<-timer.C
+				}
+			}
+			lastVer = c.flush(batch, &arena, &task, scores, lastVer)
+		}
+	}
+}
+
+// flush scores one micro-batch and completes its requests. Returns the
+// snapshot version served, so the dispatcher can count hot-swaps it
+// observed.
+func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, scores []float64, lastVer int64) int64 {
+	n := len(batch)
+	depth := len(c.queue)
+	sn := c.store.Load() // non-nil: admission checked, publishes are monotonic
+	stream := c.faults.stream()
+
+	arena.assemble(batch, sn.Dim)
+	start := time.Now()
+	*task = scoreTask{c: c, w: sn.Weights, ds: &arena.ds, batch: batch, scores: scores[:n]}
+	c.cfg.Pool.RunGrain(c.cfg.Workers, n, c.cfg.Grain, task)
+	compute := time.Since(start)
+	if d := c.faults.stretch(stream, compute); d > 0 {
+		// The straggler's share of dispatches runs factor× slower, exactly
+		// like a straggling training worker; the sleep is the modeled extra
+		// service time, observable in the latency tail under load.
+		time.Sleep(d)
+		compute += d
+	}
+
+	now := time.Now()
+	oldest := now.Sub(batch[0].enqueued) - compute
+	if oldest < 0 {
+		oldest = 0
+	}
+	for i, r := range batch {
+		if c.faults.dropped(stream) {
+			r.err = ErrInjectedDrop
+			c.stats.dropped.Add(1)
+		} else {
+			score := scores[i]
+			label := -1.0
+			if score > 0 {
+				label = 1
+			}
+			r.res = Result{
+				Label: label, Score: score, Prob: tensor.Sigmoid(score),
+				Version: sn.Version, BatchSize: n,
+				QueueWait: now.Sub(r.enqueued) - compute,
+			}
+		}
+		lat := now.Sub(r.enqueued).Seconds()
+		c.stats.latency.Record(lat)
+		c.rec.Observe(obs.MetricServeLatency, lat)
+		r.done <- struct{}{}
+	}
+	c.stats.batches.Add(1)
+	c.stats.batchSize.Record(float64(n))
+	c.stats.queueSum.Add(int64(depth))
+
+	c.rec.Phase(obs.PhaseBarrier, oldest.Seconds())
+	c.rec.Phase(obs.PhaseGradient, compute.Seconds())
+	c.rec.Add(obs.CounterServeRequests, int64(n))
+	c.rec.Add(obs.CounterServeBatches, 1)
+	if sn.Version > lastVer {
+		c.rec.Add(obs.CounterServeSwaps, sn.Version-lastVer)
+	}
+	c.rec.Observe(obs.MetricServeBatchSize, float64(n))
+	c.rec.Observe(obs.MetricServeQueueDepth, float64(depth))
+	c.faults.drain(c.rec)
+	c.rec.EndEpoch(oldest.Seconds() + compute.Seconds())
+	return sn.Version
+}
+
+// drainClosed fails every still-queued request after shutdown.
+func (c *Core) drainClosed() {
+	for {
+		select {
+		case r := <-c.queue:
+			r.err = ErrClosed
+			r.done <- struct{}{}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// faults threads a chaos.Plan through the serving path, reusing the training
+// harness's deterministic per-worker fate streams:
+//
+//   - each dispatched micro-batch is attributed round-robin to one of
+//     Workers virtual serving workers; a batch landing on a straggler
+//     worker takes StragglerFactor× its compute time (the extra service
+//     time is slept, so the degradation is visible to real load);
+//   - each request in a batch draws a fate from the batch's stream:
+//     FateDrop discards the computed prediction (ErrInjectedDrop, the
+//     serving analogue of a lost update).
+//
+// A nil *faults (healthy plan) is valid and makes every method a cheap
+// no-op, mirroring the obs.Nop discipline. Fault firings drain into the
+// chaos_* obs counters per batch, so sgdtrace and /metrics report them next
+// to the serving phases.
+type faults struct {
+	plan    chaos.Plan
+	inj     *chaos.Injector
+	streams []*chaos.Stream
+	seq     int
+}
+
+// newFaults builds the serving fault layer, or nil for an inactive plan.
+func newFaults(plan chaos.Plan, seed int64, workers int) *faults {
+	if !plan.Active() {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f := &faults{plan: plan, inj: chaos.NewInjector(plan, seed)}
+	for k := 0; k < workers; k++ {
+		f.streams = append(f.streams, f.inj.Worker(k))
+	}
+	return f
+}
+
+// stream attributes the next batch to a virtual worker and returns its fate
+// stream (nil when healthy). Dispatcher-owned; not safe for concurrent use.
+func (f *faults) stream() *chaos.Stream {
+	if f == nil {
+		return nil
+	}
+	s := f.streams[f.seq%len(f.streams)]
+	f.seq++
+	return s
+}
+
+// stretch returns the extra service time a straggler batch owes:
+// (factor-1)× its compute time, 0 for healthy workers or plans.
+func (f *faults) stretch(s *chaos.Stream, compute time.Duration) time.Duration {
+	if f == nil || s == nil || !s.Straggler() {
+		return 0
+	}
+	return time.Duration(float64(compute) * (f.plan.StragglerFactor - 1))
+}
+
+// dropped draws one request's fate and reports whether the plan discards it.
+func (f *faults) dropped(s *chaos.Stream) bool {
+	if f == nil || s == nil {
+		return false
+	}
+	return s.Fate() == chaos.FateDrop
+}
+
+// drain flushes the per-stream tallies and folds them into rec's chaos
+// counters; called once per batch by the dispatcher.
+func (f *faults) drain(rec obs.Recorder) {
+	if f == nil {
+		return
+	}
+	for _, s := range f.streams {
+		s.Flush()
+	}
+	f.inj.Drain(rec)
+}

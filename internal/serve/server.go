@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server is the HTTP/JSON transport over a Core:
+//
+//	POST /predict  {"indices":[3,17],"values":[0.5,1]} | {"dense":[...]}
+//	               | {"instances":[{...},{...}]}
+//	GET  /healthz  served model identity + effective serving config
+//	GET  /stats    Stats report as JSON
+//	GET  /metrics  Prometheus text (serving stats + any extra families)
+//
+// Admission control surfaces as HTTP 429 with a Retry-After header; an
+// unpublished model as 503; malformed features as 400.
+type Server struct {
+	core  *Core
+	extra func() string // appended to /metrics (e.g. the obs aggregator)
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewServer wraps a core with the HTTP transport.
+func NewServer(core *Core) *Server { return &Server{core: core} }
+
+// SetExtraMetrics registers an extra Prometheus-text producer appended to
+// /metrics (cmd/sgdserve hooks the training-side obs aggregator here).
+func (s *Server) SetExtraMetrics(f func() string) { s.extra = f }
+
+// instanceJSON is one request row: sparse (indices+values) or dense.
+type instanceJSON struct {
+	Indices []int32   `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dense   []float64 `json:"dense,omitempty"`
+}
+
+// predictJSON is the /predict body: one instance inline, or several under
+// "instances".
+type predictJSON struct {
+	instanceJSON
+	Instances []instanceJSON `json:"instances,omitempty"`
+}
+
+// predictionJSON is one prediction plus the queue wait in microseconds.
+type predictionJSON struct {
+	Result
+	QueueMicros int64 `json:"queue_us"`
+}
+
+// features converts an instance to the cols/vals pair Predict takes.
+func (in *instanceJSON) features() ([]int32, []float64, error) {
+	if in.Dense != nil {
+		if in.Indices != nil || in.Values != nil {
+			return nil, nil, fmt.Errorf("give either dense or indices/values, not both")
+		}
+		cols := make([]int32, len(in.Dense))
+		for i := range cols {
+			cols[i] = int32(i)
+		}
+		return cols, in.Dense, nil
+	}
+	if len(in.Indices) != len(in.Values) {
+		return nil, nil, fmt.Errorf("indices and values lengths differ (%d vs %d)", len(in.Indices), len(in.Values))
+	}
+	return in.Indices, in.Values, nil
+}
+
+// Handler returns the route mux (exported so tests and in-process callers
+// can drive the transport without a socket).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// statusOf maps serving errors to HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBadFeatures):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrInjectedDrop), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := statusOf(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body predictJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadFeatures, err))
+		return
+	}
+	if len(body.Instances) == 0 {
+		cols, vals, err := body.features()
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrBadFeatures, err))
+			return
+		}
+		res, err := s.core.Predict(cols, vals)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, predictionJSON{Result: res, QueueMicros: res.QueueWait.Microseconds()})
+		return
+	}
+	// Multi-instance bodies score concurrently so they can share
+	// micro-batches — a client-side batch is not serialised into
+	// single-request dispatches.
+	preds := make([]predictionJSON, len(body.Instances))
+	errs := make([]error, len(body.Instances))
+	var wg sync.WaitGroup
+	for i := range body.Instances {
+		cols, vals, err := body.Instances[i].features()
+		if err != nil {
+			errs[i] = fmt.Errorf("%w: instance %d: %v", ErrBadFeatures, i, err)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, cols []int32, vals []float64) {
+			defer wg.Done()
+			res, err := s.core.Predict(cols, vals)
+			preds[i] = predictionJSON{Result: res, QueueMicros: res.QueueWait.Microseconds()}
+			errs[i] = err
+		}(i, cols, vals)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"predictions": preds})
+}
+
+// Health is the /healthz payload; cmd/sgdload embeds it in reports so two
+// latency reports are only compared between identical server fingerprints.
+type Health struct {
+	Status         string  `json:"status"` // "ok" or "no_model"
+	Model          string  `json:"model,omitempty"`
+	ModelVersion   int64   `json:"model_version,omitempty"`
+	Epoch          int     `json:"epoch,omitempty"`
+	Loss           float64 `json:"loss,omitempty"`
+	Fingerprint    string  `json:"fingerprint,omitempty"`     // human-readable
+	FingerprintKey string  `json:"fingerprint_key,omitempty"` // core.Fingerprint.Key
+	MaxBatch       int     `json:"max_batch"`
+	MaxDelayMicros int64   `json:"max_delay_us"`
+	QueueDepth     int     `json:"queue_depth"`
+	Workers        int     `json:"workers"`
+	ChaosPlan      string  `json:"chaos_plan,omitempty"`
+}
+
+// health builds the current Health payload.
+func (s *Server) health() Health {
+	cfg := s.core.Config()
+	h := Health{
+		Status:         "no_model",
+		MaxBatch:       cfg.MaxBatch,
+		MaxDelayMicros: cfg.MaxDelay.Microseconds(),
+		QueueDepth:     cfg.QueueDepth,
+		Workers:        cfg.Workers,
+	}
+	if cfg.Plan.Active() {
+		h.ChaosPlan = cfg.Plan.String()
+	}
+	if sn := s.core.Store().Load(); sn != nil {
+		h.Status = "ok"
+		h.Model = sn.Model
+		h.ModelVersion = sn.Version
+		h.Epoch = sn.Epoch
+		h.Loss = sn.Loss
+		h.Fingerprint = sn.Fingerprint.String()
+		h.FingerprintKey = sn.Fingerprint.Key()
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	if h.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.core.Stats().Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.core.Stats().WriteProm(&b)
+	if s.extra != nil {
+		b.WriteString(s.extra())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, b.String())
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Shutdown's ErrServerClosed
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the HTTP listener (the Core keeps running until
+// its own Close, so in-flight batches complete).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// testServer builds a served LR with weights [1,-2,0.5,4] behind httptest.
+func testServer(t *testing.T) (*httptest.Server, *Core) {
+	t.Helper()
+	store := NewStore()
+	store.Publish(&Snapshot{
+		Model: "lr", Dim: 4, Weights: []float64{1, -2, 0.5, 4}, Epoch: 3,
+		Fingerprint: core.Fingerprint{Engine: "hogwild/cpu(8)", Model: "lr", Dataset: "covtype", N: 100, Threads: 8, Seed: 1},
+	})
+	c := NewCore(model.NewLR(4), store, Config{MaxBatch: 8})
+	srv := httptest.NewServer(NewServer(c).Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return srv, c
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, m
+}
+
+func TestHTTPPredictSparse(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, m := postJSON(t, srv.URL+"/predict", `{"indices":[0,2],"values":[3,2]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, m)
+	}
+	if m["score"].(float64) != 4 || m["label"].(float64) != 1 {
+		t.Fatalf("prediction = %v", m)
+	}
+	if m["model_version"].(float64) != 1 || m["batch_size"].(float64) < 1 {
+		t.Fatalf("metadata = %v", m)
+	}
+	if _, ok := m["queue_us"]; !ok {
+		t.Fatalf("missing queue_us in %v", m)
+	}
+}
+
+func TestHTTPPredictDense(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, m := postJSON(t, srv.URL+"/predict", `{"dense":[3,0,2,0]}`)
+	if resp.StatusCode != http.StatusOK || m["score"].(float64) != 4 {
+		t.Fatalf("status %d, prediction %v", resp.StatusCode, m)
+	}
+}
+
+func TestHTTPPredictInstances(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, m := postJSON(t, srv.URL+"/predict",
+		`{"instances":[{"indices":[0],"values":[1]},{"dense":[0,1,0,0]},{"indices":[3],"values":[1]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, m)
+	}
+	preds := m["predictions"].([]any)
+	if len(preds) != 3 {
+		t.Fatalf("got %d predictions, want 3", len(preds))
+	}
+	wantScores := []float64{1, -2, 4}
+	for i, p := range preds {
+		if got := p.(map[string]any)["score"].(float64); got != wantScores[i] {
+			t.Fatalf("instance %d: score %v, want %v", i, got, wantScores[i])
+		}
+	}
+}
+
+func TestHTTPPredictErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"indices":[0],"values":[1,2]}`, http.StatusBadRequest},
+		{`{"indices":[9],"values":[1]}`, http.StatusBadRequest},
+		{`{"dense":[1],"indices":[0],"values":[1]}`, http.StatusBadRequest},
+		{`{"instances":[{"indices":[0],"values":[1]},{"indices":[99],"values":[1]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, m := postJSON(t, srv.URL+"/predict", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("body %q: status %d (%v), want %d", tc.body, resp.StatusCode, m, tc.code)
+		}
+		if _, ok := m["error"]; !ok {
+			t.Fatalf("body %q: no error field in %v", tc.body, m)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPNoModel(t *testing.T) {
+	c := NewCore(model.NewLR(4), NewStore(), Config{})
+	srv := httptest.NewServer(NewServer(c).Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+
+	resp, m := postJSON(t, srv.URL+"/predict", `{"indices":[0],"values":[1]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/predict without model: status %d (%v), want 503", resp.StatusCode, m)
+	}
+	resp2, h := postJSONGet(t, srv.URL+"/healthz")
+	if resp2.StatusCode != http.StatusServiceUnavailable || h["status"] != "no_model" {
+		t.Fatalf("/healthz without model: status %d body %v", resp2.StatusCode, h)
+	}
+}
+
+// postJSONGet GETs url and decodes the JSON body.
+func postJSONGet(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp, m
+}
+
+func TestHTTPHealthzStatsMetrics(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp, m := postJSON(t, srv.URL+"/predict", `{"indices":[0],"values":[1]}`); resp.StatusCode != 200 {
+		t.Fatalf("warmup predict failed: %v", m)
+	}
+
+	resp, h := postJSONGet(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" || h["model"] != "lr" {
+		t.Fatalf("/healthz = %d %v", resp.StatusCode, h)
+	}
+	if h["fingerprint_key"] == "" || h["max_batch"].(float64) != 8 {
+		t.Fatalf("/healthz missing config/fingerprint: %v", h)
+	}
+
+	resp, s := postJSONGet(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK || s["requests"].(float64) < 1 || s["batches"].(float64) < 1 {
+		t.Fatalf("/stats = %d %v", resp.StatusCode, s)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, family := range []string{
+		"sgd_serve_requests_total", "sgd_serve_batches_total",
+		"sgd_serve_snapshot_swaps_total", "sgd_serve_latency_seconds",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("/metrics missing %s:\n%s", family, text)
+		}
+	}
+}
+
+func TestServerStartShutdown(t *testing.T) {
+	_, c := testServer(t)
+	s := NewServer(c)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, h := postJSONGet(t, "http://"+addr+"/healthz")
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("started server /healthz = %d %v", resp.StatusCode, h)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
