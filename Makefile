@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke span-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 # stay safe under that).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/core ./internal/obs ./internal/serve ./internal/span
 
 # lint runs the static analyzers beyond vet. staticcheck and govulncheck
 # are optional locally (this module is stdlib-only and builds offline); CI
@@ -94,6 +94,14 @@ mdcheck:
 serve-smoke:
 	$(GO) run ./cmd/sgdload -inproc -duration 2s -conc 64 -check -min-speedup 2 \
 		-out $${SERVE_TMP:-$$(mktemp -t serve-smoke.XXXXXX.json)}
+
+# span-smoke is the tracing/SLO gate: a healthy sgdserve must keep its SLO
+# quiet with >= 95% of the p99 tail attributed to named spans, and the same
+# server under the storm fault plan must fire the multi-window burn-rate
+# alert. See scripts/span_smoke.sh; artifacts land in SPAN_SMOKE_DIR (or a
+# temp dir) so the tree stays clean.
+span-smoke:
+	GO=$(GO) sh scripts/span_smoke.sh
 
 # fuzz exercises the input-boundary fuzz targets for a bounded time each.
 # The minimize budget is capped: on a small box, minimizing a multi-KB

@@ -27,6 +27,13 @@
 // sanity assertions (every request accounted for, nonzero throughput,
 // ordered quantiles) and -min-speedup gates the A/B ratio; failures exit 1.
 // Exit status: 0 ok, 1 load or check failure, 2 usage error.
+//
+// HTTP requests carry unique client-minted X-Trace-Id headers, so a server
+// running with -spans exports span trees stitched to this load run, and the
+// report embeds the server's /slo burn-rate evaluation after the run.
+// -expect-alert fire|quiet turns that into an assertion — the span-smoke CI
+// job drives a storm-faulted server expecting fire and a clean one expecting
+// quiet.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/span"
 )
 
 func main() {
@@ -64,6 +72,7 @@ type runReport struct {
 	Rejected      int64   `json:"rejected"` // HTTP 429 / ErrOverloaded
 	Errors        int64   `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	Traced        int64   `json:"traced,omitempty"` // responses that echoed our X-Trace-Id
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
 	LatencyP90Ms  float64 `json:"latency_p90_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
@@ -78,6 +87,7 @@ type report struct {
 	Server    *serve.Health `json:"server,omitempty"` // /healthz at run start
 	Runs      []runReport   `json:"runs"`
 	Speedup   float64       `json:"batched_speedup,omitempty"`
+	SLO       *span.Report  `json:"slo,omitempty"` // /slo after the run (HTTP mode)
 	CheckedOK bool          `json:"checked_ok,omitempty"`
 }
 
@@ -99,8 +109,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPath    = fs.String("out", "-", "write the JSON report here (- = stdout)")
 		check      = fs.Bool("check", false, "assert report sanity; exit 1 on violation")
 		minSpeedup = fs.Float64("min-speedup", 0, "with -check and -inproc: minimum batched/unbatched throughput ratio")
+		expAlert   = fs.String("expect-alert", "", "assert the server's /slo state after the run: fire|quiet (exit 1 on mismatch)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *expAlert != "" && *expAlert != "fire" && *expAlert != "quiet" {
+		fmt.Fprintf(stderr, "sgdload: -expect-alert %q: want fire or quiet\n", *expAlert)
+		return 2
+	}
+	if *expAlert != "" && *inproc {
+		fmt.Fprintln(stderr, "sgdload: -expect-alert needs an HTTP target (/slo lives on the server)")
 		return 2
 	}
 
@@ -136,9 +155,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, r := range rep.Runs {
 		fmt.Fprintf(stderr, "sgdload: %-16s %8.0f req/s  p50 %6.3fms  p99 %6.3fms  (%d ok, %d rejected, %d errors)\n",
 			r.Mode, r.ThroughputRPS, r.LatencyP50Ms, r.LatencyP99Ms, r.OK, r.Rejected, r.Errors)
+		if r.Traced > 0 {
+			fmt.Fprintf(stderr, "sgdload: %-16s %d responses carried our trace IDs (server spans stitch to this run)\n",
+				r.Mode, r.Traced)
+		}
 	}
 	if rep.Speedup > 0 {
 		fmt.Fprintf(stderr, "sgdload: batched/unbatched speedup %.2fx at equal worker count\n", rep.Speedup)
+	}
+	if rep.SLO != nil {
+		for _, o := range rep.SLO.Objectives {
+			fmt.Fprintf(stderr, "sgdload: slo %-24s burn %.2f fast / %.2f slow (threshold %.1f, alerting=%v)\n",
+				o.Name, o.FastBurn, o.SlowBurn, rep.SLO.BurnThreshold, o.Alerting)
+		}
+	}
+	if *expAlert != "" {
+		alerting := rep.SLO != nil && rep.SLO.Alerting
+		if want := *expAlert == "fire"; alerting != want {
+			fmt.Fprintf(stderr, "sgdload: expected SLO alert state %q, server is alerting=%v\n", *expAlert, alerting)
+			emit(stderr, &rep, "-")
+			return 1
+		}
 	}
 	if err := emit(stdout, &rep, *outPath); err != nil {
 		fmt.Fprintf(stderr, "sgdload: %v\n", err)
@@ -206,12 +243,23 @@ func runHTTP(ds *data.Dataset, target string, conc int, rate float64, dur time.D
 
 	var (
 		sent, ok, rejected, errs atomic.Int64
+		traced, nextID           atomic.Int64
 		mu                       sync.Mutex
 		lat                      []float64
 	)
 	shoot := func(body []byte) {
+		// Every request carries a unique client-minted trace ID, so server-
+		// side span trees (sgdserve -spans) stitch back to this load run.
+		id := span.ID(uint64(seed)<<32 + uint64(nextID.Add(1))).String()
+		req, err := http.NewRequest(http.MethodPost, target+"/predict", bytes.NewReader(body))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Trace-Id", id)
 		start := time.Now()
-		resp, err := client.Post(target+"/predict", "application/json", bytes.NewReader(body))
+		resp, err := client.Do(req)
 		el := time.Since(start).Seconds()
 		if err != nil {
 			errs.Add(1)
@@ -219,6 +267,9 @@ func runHTTP(ds *data.Dataset, target string, conc int, rate float64, dur time.D
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		if resp.Header.Get("X-Trace-Id") == id {
+			traced.Add(1)
+		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			ok.Add(1)
@@ -268,10 +319,32 @@ func runHTTP(ds *data.Dataset, target string, conc int, rate float64, dur time.D
 	rr := runReport{
 		Mode: mode, DurationS: elapsed,
 		Sent: sent.Load(), OK: ok.Load(), Rejected: rejected.Load(), Errors: errs.Load(),
+		Traced:        traced.Load(),
 		ThroughputRPS: float64(ok.Load()) / elapsed,
 	}
 	rr.quantiles(lat)
-	return report{Target: target, Server: health, Runs: []runReport{rr}}, nil
+	rep := report{Target: target, Server: health, Runs: []runReport{rr}}
+	rep.SLO = fetchSLO(target)
+	return rep, nil
+}
+
+// fetchSLO embeds the server's burn-rate evaluation in the report. Best
+// effort: a server without the /slo endpoint just leaves the field empty
+// (-expect-alert then treats it as not alerting).
+func fetchSLO(target string) *span.Report {
+	resp, err := http.Get(target + "/slo")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var rep span.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil
+	}
+	return &rep
 }
 
 // fetchHealth embeds the server identity in the report.

@@ -10,12 +10,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/span"
 )
 
-// startTestServer serves a tiny LR through the real serve stack.
-func startTestServer(t *testing.T) string {
+// startTestServer serves a tiny LR through the real serve stack, optionally
+// instrumented (tracer + SLO) and faulted via mutate.
+func startTestServer(t *testing.T, mutate ...func(*serve.Config)) string {
 	t.Helper()
 	store := serve.NewStore()
 	w := make([]float64, 54)
@@ -23,10 +26,28 @@ func startTestServer(t *testing.T) string {
 		w[i] = 0.01 * float64(i)
 	}
 	store.Publish(&serve.Snapshot{Model: "lr", Dim: 54, Weights: w})
-	c := serve.NewCore(model.NewLR(54), store, serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond})
+	cfg := serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond}
+	for _, f := range mutate {
+		f(&cfg)
+	}
+	c := serve.NewCore(model.NewLR(54), store, cfg)
 	srv := httptest.NewServer(serve.NewServer(c).Handler())
 	t.Cleanup(func() { srv.Close(); c.Close() })
 	return srv.URL
+}
+
+// instrumented wires a sample-everything tracer (no export) and an SLO with
+// a window short enough for a sub-second load run.
+func instrumented(t *testing.T) func(*serve.Config) {
+	t.Helper()
+	objs, err := span.ParseObjectives("errors@99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(cfg *serve.Config) {
+		cfg.Tracer = span.NewTracer(span.Config{SampleRate: 1, Seed: 5}, nil)
+		cfg.SLO = span.NewSLO(span.SLOConfig{Objectives: objs, FastWindow: 2 * time.Second})
+	}
 }
 
 func TestRunClosedLoopHTTP(t *testing.T) {
@@ -103,6 +124,63 @@ func TestRunInprocReportsSpeedupAndFingerprint(t *testing.T) {
 	}
 }
 
+// TestRunTracedServerQuietSLO: against an instrumented healthy server, every
+// response carries our trace ID, the report embeds a quiet /slo evaluation,
+// and -expect-alert quiet passes.
+func TestRunTracedServerQuietSLO(t *testing.T) {
+	url := startTestServer(t, instrumented(t))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", url, "-conc", "4", "-duration", "300ms",
+		"-maxn", "300", "-out", "-", "-check", "-expect-alert", "quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Every successful response must echo our ID (rejected requests bounce
+	// at admission, before the batcher stamps the trace).
+	r := rep.Runs[0]
+	if r.Traced < r.OK || r.Traced == 0 {
+		t.Fatalf("traced %d of %d ok requests", r.Traced, r.OK)
+	}
+	if rep.SLO == nil || len(rep.SLO.Objectives) != 1 || rep.SLO.Alerting {
+		t.Fatalf("report SLO = %+v", rep.SLO)
+	}
+	if rep.SLO.Objectives[0].FastTotal == 0 {
+		t.Fatal("server SLO saw no requests")
+	}
+}
+
+// TestRunExpectAlertFire: a server dropping every request burns the error
+// budget, so -expect-alert fire passes and quiet fails.
+func TestRunExpectAlertFire(t *testing.T) {
+	url := startTestServer(t, instrumented(t), func(cfg *serve.Config) {
+		cfg.Plan = chaos.Plan{DropFrac: 1}
+		cfg.ChaosSeed = 3
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", url, "-conc", "2", "-duration", "200ms",
+		"-maxn", "300", "-out", os.DevNull, "-expect-alert", "fire",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("alerting server: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-target", url, "-conc", "2", "-duration", "200ms",
+		"-maxn", "300", "-out", os.DevNull, "-expect-alert", "quiet",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("expected quiet against alerting server: exit %d, want 1", code)
+	}
+}
+
 func TestRunTargetDown(t *testing.T) {
 	// A refused connection must fail cleanly, not hang or panic.
 	dead := httptest.NewServer(http.NotFoundHandler())
@@ -114,7 +192,12 @@ func TestRunTargetDown(t *testing.T) {
 }
 
 func TestRunUsageErrors(t *testing.T) {
-	for _, args := range [][]string{{"-dataset", "nonesuch"}, {"-bogus"}} {
+	for _, args := range [][]string{
+		{"-dataset", "nonesuch"},
+		{"-bogus"},
+		{"-expect-alert", "maybe"},
+		{"-inproc", "-expect-alert", "quiet"},
+	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {
 			t.Errorf("args %v: exit %d, want 2", args, code)

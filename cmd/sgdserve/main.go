@@ -9,6 +9,8 @@
 //	         [-snapshot snap.json] [-save-snapshot snap.json]
 //	         [-max-batch 64] [-max-delay 2ms] [-queue 0] [-workers 0]
 //	         [-chaos-plan storm] [-chaos-intensity 1] [-seed 1]
+//	         [-spans spans.jsonl] [-sample 1] [-slow 250ms]
+//	         [-slo "latency<=250ms@99,errors@99.9"] [-slo-fast 1m] [-slo-slow 0] [-burn 2]
 //	         [-serve-for 0] [-trace serve.jsonl] [-debug-addr :6060] [-quiet]
 //
 // Two modes:
@@ -20,10 +22,17 @@
 //     swapping a fresh immutable snapshot into the serving path every
 //     -publish-every epochs while requests are in flight.
 //
-// Endpoints: POST /predict, GET /healthz, /stats, /metrics (serving stats
-// plus the training aggregator's families). -debug-addr additionally serves
-// expvar ("sgd_obs") and net/http/pprof like the other binaries; -trace
-// streams one JSONL event per dispatched micro-batch for cmd/sgdtrace.
+// Endpoints: POST /predict, GET /healthz, /stats, /slo, /metrics (serving
+// stats plus the training aggregator's families). -debug-addr additionally
+// serves expvar ("sgd_obs") and net/http/pprof like the other binaries;
+// -trace streams one JSONL event per dispatched micro-batch for cmd/sgdtrace.
+//
+// -spans enables request-level span tracing (internal/span): kept traces
+// stream to the given JSONL path for cmd/sgdspan, head-sampled at -sample
+// with tail retention of traces slower than -slow (errored and chaos-faulted
+// requests are always kept). -slo names burn-rate objectives; the evaluation
+// is served at /slo and exported to /metrics, alerting when both the -slo-fast
+// and 10x (or -slo-slow) windows burn the error budget faster than -burn.
 // -serve-for bounds the serving time (for smoke tests); otherwise sgdserve
 // runs until SIGINT/SIGTERM. Exit status: 0 clean shutdown, 1 runtime
 // failure, 2 usage error.
@@ -48,6 +57,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/span"
 )
 
 func main() {
@@ -78,6 +88,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaosPlan    = fs.String("chaos-plan", "", "inject this named fault plan into the serving path")
 		intensity    = fs.Float64("chaos-intensity", 1, "fault plan intensity multiplier")
 		seed         = fs.Int64("seed", 1, "seed for init params, shuffles and fault streams")
+		spansPath    = fs.String("spans", "", "write kept request span traces here as JSONL (enables tracing)")
+		sample       = fs.Float64("sample", 1, "head-sampling rate for request traces, in [0,1]")
+		slowKeep     = fs.Duration("slow", 250*time.Millisecond, "always keep traces at least this slow (0 = head sampling only)")
+		sloSpec      = fs.String("slo", "", `SLO objectives, e.g. "latency<=250ms@99,errors@99.9" (enables /slo burn rates)`)
+		sloFast      = fs.Duration("slo-fast", time.Minute, "fast burn-rate window")
+		sloSlow      = fs.Duration("slo-slow", 0, "slow burn-rate window (0 = 10x fast)")
+		burn         = fs.Float64("burn", 2, "burn-rate alert threshold (both windows must exceed it)")
 		serveFor     = fs.Duration("serve-for", 0, "shut down after this long (0 = until SIGINT/SIGTERM)")
 		tracePath    = fs.String("trace", "", "write a JSONL serving trace (one event per micro-batch)")
 		debugAddr    = fs.String("debug-addr", "", "serve expvar, pprof and aggregator /metrics on this address")
@@ -123,6 +140,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		plan = p.Scale(*intensity)
+	}
+
+	var tracer *span.Tracer
+	var spanW *span.Writer
+	if *spansPath != "" {
+		spanW, err = span.CreateWriter(*spansPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 1
+		}
+		tracer = span.NewTracer(span.Config{
+			SampleRate: *sample, SlowThreshold: *slowKeep, Seed: *seed,
+		}, spanW)
+		// Closed after the core (defers run LIFO): traces finishing during
+		// core shutdown still reach the file.
+		defer func() {
+			if err := spanW.Close(); err != nil {
+				fmt.Fprintf(stderr, "sgdserve: closing %s: %v\n", *spansPath, err)
+			}
+		}()
+	}
+	var slo *span.SLO
+	if *sloSpec != "" {
+		objs, err := span.ParseObjectives(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdserve: %v\n", err)
+			return 2
+		}
+		slo = span.NewSLO(span.SLOConfig{
+			Objectives: objs, FastWindow: *sloFast, SlowWindow: *sloSlow,
+			BurnThreshold: *burn,
+		})
 	}
 
 	agg := obs.NewAggregator()
@@ -177,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	c := serve.NewCore(m, store, serve.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueDepth: *queueDepth,
 		Workers: *workers, Rec: rec, Plan: plan, ChaosSeed: *seed,
+		Tracer: tracer, SLO: slo,
 	})
 	defer c.Close()
 
@@ -244,6 +294,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "served %d requests in %d batches (avg %.1f/batch), %d rejected, %d snapshot swaps, p99 %.3fms\n",
 		rep.Requests, rep.Batches, rep.AvgBatch, rep.Rejected, rep.Swaps,
 		rep.LatencyP99*1e3)
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Fprintf(stdout, "spans: %d traces started, %d kept (%d head, %d slow, %d fault, %d error) -> %s\n",
+			st.Started, st.Kept, st.KeptHead, st.KeptSlow, st.KeptFault, st.KeptError, *spansPath)
+	}
+	if slo != nil {
+		srep := slo.Snapshot()
+		state := "ok"
+		if srep.Alerting {
+			state = "ALERT"
+		}
+		for _, o := range srep.Objectives {
+			fmt.Fprintf(stdout, "slo %s: burn %.2f (fast) / %.2f (slow), threshold %.1f, %s\n",
+				o.Name, o.FastBurn, o.SlowBurn, srep.BurnThreshold, state)
+		}
+	}
 
 	if *savePath != "" {
 		sn := store.Load()

@@ -3,13 +3,37 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/span"
 )
+
+// syncBuf lets the test read run()'s output while run() is still writing
+// from its own goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 func TestRunOfflineServeForAndSnapshotRoundtrip(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "snap.json")
@@ -54,11 +78,91 @@ func TestRunOnlineModeHotSwaps(t *testing.T) {
 	}
 }
 
+// TestRunSpansAndSLOSmoke boots a fully instrumented server, drives a traced
+// request through HTTP, reads /slo live, and checks the span export and
+// shutdown summary afterwards.
+func TestRunSpansAndSLOSmoke(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	var stdout, stderr syncBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-maxn", "300", "-pretrain", "2",
+			"-serve-for", "2s", "-spans", spansPath, "-slow", "0",
+			"-slo", "latency<=1s@99,errors@99.9", "-slo-fast", "2s",
+		}, &stdout, &stderr)
+	}()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never listened; stderr:\n%s", stderr.String())
+	}
+	base := "http://" + addr
+
+	req, _ := http.NewRequest("POST", base+"/predict", strings.NewReader(`{"indices":[0],"values":[1]}`))
+	req.Header.Set("X-Trace-Id", "00000000000000ab")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("X-Trace-Id") != "00000000000000ab" {
+		t.Fatalf("predict: status %d, X-Trace-Id %q", resp.StatusCode, resp.Header.Get("X-Trace-Id"))
+	}
+
+	sloResp, err := http.Get(base + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep span.Report
+	if err := json.NewDecoder(sloResp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	sloResp.Body.Close()
+	if len(rep.Objectives) != 2 || rep.Alerting {
+		t.Fatalf("/slo = %+v", rep)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "spans: 1 traces started, 1 kept") {
+		t.Errorf("span summary missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "slo latency") || !strings.Contains(out, "ok") {
+		t.Errorf("slo summary missing:\n%s", out)
+	}
+	recs, err := span.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Trace != "00000000000000ab" {
+		t.Fatalf("span export = %+v", recs)
+	}
+	names := map[string]bool{}
+	for _, s := range recs[0].Spans {
+		names[s.Name] = true
+	}
+	if !names["queue_wait"] || !names["score"] {
+		t.Errorf("exported trace missing serve-path spans: %v", recs[0].Spans)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-model", "tree"},
 		{"-dataset", "nonesuch"},
 		{"-chaos-plan", "nonesuch"},
+		{"-slo", "latency<=junk@99"},
 		{"-bogus-flag"},
 	}
 	for _, args := range cases {

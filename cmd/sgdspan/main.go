@@ -1,0 +1,115 @@
+// Command sgdspan analyzes request-level span traces (internal/span JSONL,
+// exported by sgdserve -spans or an in-process tracer): where did the p99
+// go? It prints the per-span attribution table (p50/p99/max/total per span
+// name), the tail-attribution verdict — what fraction of p99+ request wall
+// time is covered by named spans, with the unattributed remainder reported
+// explicitly — and critical-path waterfalls for the worst-N traces.
+//
+// Usage:
+//
+//	sgdspan [-top 12] [-worst 3] [-keep fault] [-min-attrib 0.95] [-json] spans.jsonl [more.jsonl...]
+//
+// Pass "-" to read from stdin. With -min-attrib the exit status becomes a
+// gate: nonzero when tail attribution falls below the floor, which is how
+// the span-smoke CI job asserts the serve path stays explainable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/span"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdspan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		top       = fs.Int("top", 12, "span names to show in the attribution table")
+		worst     = fs.Int("worst", 3, "worst-N traces to render as waterfalls (0 = none)")
+		keep      = fs.String("keep", "", "only analyze traces kept for this reason (head, slow, fault, error)")
+		minAttrib = fs.Float64("min-attrib", 0, "fail (exit 1) when p99 tail attribution is below this fraction")
+		jsonOut   = fs.Bool("json", false, "emit the analysis as JSON instead of tables")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sgdspan [flags] spans.jsonl [more.jsonl...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var traces []span.TraceRec
+	for _, path := range fs.Args() {
+		var recs []span.TraceRec
+		var err error
+		if path == "-" {
+			recs, err = span.Read(stdin)
+		} else {
+			recs, err = span.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdspan: %v\n", err)
+			return 1
+		}
+		traces = append(traces, recs...)
+	}
+	if *keep != "" {
+		filtered := traces[:0]
+		for _, tr := range traces {
+			if tr.Keep == *keep {
+				filtered = append(filtered, tr)
+			}
+		}
+		traces = filtered
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(stderr, "sgdspan: no traces after filters")
+		return 1
+	}
+
+	a := span.Analyze(traces)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fmt.Fprintf(stderr, "sgdspan: %v\n", err)
+			return 1
+		}
+	} else {
+		a.WriteSummary(stdout, *top)
+		if *worst > 0 {
+			idx := make([]int, len(traces))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(i, j int) bool { return traces[idx[i]].DurUS > traces[idx[j]].DurUS })
+			n := *worst
+			if n > len(idx) {
+				n = len(idx)
+			}
+			fmt.Fprintf(stdout, "\nworst %d traces:\n", n)
+			for _, i := range idx[:n] {
+				span.WriteWaterfall(stdout, &traces[i])
+			}
+		}
+	}
+	if *minAttrib > 0 && a.Tail.Attributed < *minAttrib {
+		fmt.Fprintf(stderr, "sgdspan: p99 tail attribution %.3f below floor %.3f (%.1fµs unattributed)\n",
+			a.Tail.Attributed, *minAttrib, a.Tail.UnattributedUS)
+		return 1
+	}
+	return 0
+}

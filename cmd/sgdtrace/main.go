@@ -6,12 +6,20 @@
 // Usage:
 //
 //	sgdtrace [-engine async] [-dataset w8a] [-prom] trace.jsonl [more.jsonl...]
+//	sgdtrace -spans spans.jsonl [more.jsonl...]
 //
 // Pass "-" to read a trace from stdin. With -prom the aggregate is printed in
-// the Prometheus text exposition format instead of the summary tables.
+// the Prometheus text exposition format instead of the summary tables. With
+// -spans the inputs are request-level span traces (internal/span JSONL, the
+// sgdserve -spans export) and the summary is span counts, tree depth and the
+// top spans by total time; span files are also auto-detected by sniffing the
+// first line, so one inspector covers both trace formats. cmd/sgdspan is the
+// deeper span analyzer (waterfalls, attribution, worst-N exemplars).
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/span"
 )
 
 func main() {
@@ -32,6 +41,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		engine  = fs.String("engine", "", "keep only events whose engine name contains this (at a word boundary, so \"sync\" does not match \"async\")")
 		dataset = fs.String("dataset", "", "keep only events whose dataset name contains this (at a word boundary)")
 		prom    = fs.Bool("prom", false, "print the Prometheus text snapshot instead of summary tables")
+		spans   = fs.Bool("spans", false, "treat inputs as request-level span traces (auto-detected for files)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: sgdtrace [flags] trace.jsonl [more.jsonl...]\n")
@@ -43,6 +53,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+	if *spans || (fs.Arg(0) != "-" && sniffSpans(fs.Arg(0))) {
+		return runSpans(fs.Args(), stdin, stdout, stderr)
 	}
 
 	agg := obs.NewAggregator()
@@ -78,6 +91,49 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%d events read, %d after filters, %d runs\n\n", total, kept, len(agg.Runs()))
 	fmt.Fprint(stdout, agg.Summary())
+	return 0
+}
+
+// sniffSpans reports whether path's first nonempty line parses as a span
+// TraceRec, so `sgdtrace spans.jsonl` just works without -spans.
+func sniffSpans(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		return span.Looks(line)
+	}
+	return false
+}
+
+// runSpans is the span-format path: read every input as span JSONL and print
+// the shared summary (count, depth, top spans by total time, tail
+// attribution).
+func runSpans(paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	var traces []span.TraceRec
+	for _, path := range paths {
+		var recs []span.TraceRec
+		var err error
+		if path == "-" {
+			recs, err = span.Read(stdin)
+		} else {
+			recs, err = span.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "sgdtrace: %v\n", err)
+			return 1
+		}
+		traces = append(traces, recs...)
+	}
+	span.Analyze(traces).WriteSummary(stdout, 12)
 	return 0
 }
 

@@ -86,3 +86,49 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 1", code)
 	}
 }
+
+// writeSpanFile lays down a minimal span JSONL file for the -spans mode.
+func writeSpanFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	lines := `{"trace":"0000000000000001","root":"predict","dur_us":1000,"keep":"head","spans":[{"name":"queue_wait","start_us":0,"dur_us":400,"worker":-1},{"name":"score","start_us":400,"dur_us":600,"worker":-1},{"name":"score/shard","parent":"score","start_us":400,"dur_us":500,"worker":2}]}
+{"trace":"0000000000000002","root":"predict","dur_us":5000,"keep":"slow","spans":[{"name":"score","start_us":0,"dur_us":5000,"worker":-1}]}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpansMode(t *testing.T) {
+	path := writeSpanFile(t)
+	for _, args := range [][]string{
+		{"-spans", path},
+		{path}, // auto-detected by sniffing the first line
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, strings.NewReader(""), &stdout, &stderr); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", args, code, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{"2 traces", "max depth 2", "score/shard", "p99 tail attribution"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
+func TestRunSpansStdin(t *testing.T) {
+	raw, err := os.ReadFile(writeSpanFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-spans", "-"}, bytes.NewReader(raw), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "2 traces") {
+		t.Errorf("stdin span summary wrong:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSnapshotWhileRecording hammers one aggregator from several
+// recording goroutines while another renders Prometheus snapshots — the
+// /metrics-scrape-during-traffic interleaving, meaningful under -race. Every
+// rendered snapshot must also be a self-consistent document (counter lines
+// present once the first epoch landed).
+func TestConcurrentSnapshotWhileRecording(t *testing.T) {
+	agg := NewAggregator()
+	const writers = 4
+	const epochs = 200
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out := agg.Snapshot()
+			if strings.Contains(out, "sgd_epochs_total") && !strings.Contains(out, "sgd_epoch_seconds_total") {
+				t.Error("snapshot rendered epochs without seconds family")
+				return
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			rec := agg.Run("hogwild", "covtype")
+			for e := 0; e < epochs; e++ {
+				rec.Phase(PhaseGradient, 0.001)
+				rec.Phase(PhaseUpdate, 0.0005)
+				rec.Add(CounterWorkerUpdates, 10)
+				rec.Observe(MetricServeLatency, 0.002)
+				rec.EndEpoch(0.0015)
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	<-readerDone
+
+	runs := agg.Runs()
+	if len(runs) != 1 || runs[0].Epochs != writers*epochs {
+		t.Fatalf("aggregated %+v, want %d epochs in one run", runs, writers*epochs)
+	}
+	out := agg.Snapshot()
+	for _, want := range []string{
+		`sgd_epochs_total{engine="hogwild",dataset="covtype"} 800`,
+		`phase="gradient"`,
+		`counter="worker_updates"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("final snapshot missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -36,6 +36,29 @@ type Task interface {
 	Run(lo, hi int)
 }
 
+// ShardTask is a Task that also wants to know which pool worker executed
+// each chunk — the hook request-level span tracing uses to emit per-worker
+// shard spans. Worker is the executing worker's index in [0, Size), or -1
+// when the chunk ran on the calling goroutine (the caller's own first chunk,
+// help-stolen chunks, the inline fallback when the queue is full, and every
+// chunk of a sequential pool). RunShard is called instead of Run; the
+// contract on ranges is identical.
+type ShardTask interface {
+	Task
+	RunShard(worker, lo, hi int)
+}
+
+// runChunk executes one chunk, routing through RunShard when the task wants
+// worker identity. The interface assertion is allocation-free, so Tasks that
+// ignore workers pay a type check and nothing else.
+func runChunk(t Task, worker, lo, hi int) {
+	if st, ok := t.(ShardTask); ok {
+		st.RunShard(worker, lo, hi)
+		return
+	}
+	t.Run(lo, hi)
+}
+
 // call is one dispatched chunk of a Run invocation.
 type call struct {
 	t      Task
@@ -43,8 +66,9 @@ type call struct {
 	d      *doneGroup
 }
 
-func (c call) exec() {
-	c.t.Run(c.lo, c.hi)
+// execOn runs the chunk as the given worker (-1 = a calling goroutine).
+func (c call) execOn(worker int) {
+	runChunk(c.t, worker, c.lo, c.hi)
 	if c.d.remaining.Add(-1) == 0 {
 		c.d.ch <- struct{}{}
 	}
@@ -86,7 +110,7 @@ func New(size int) *Pool {
 		dones: make(chan *doneGroup, 16),
 	}
 	for i := 0; i < size; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -136,9 +160,9 @@ func (p *Pool) Close() {
 	}
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	for c := range p.tasks {
-		c.exec()
+		c.execOn(id)
 	}
 }
 
@@ -161,13 +185,13 @@ func (p *Pool) Run(workers, n int, t Task) {
 		workers = p.size
 	}
 	if workers <= 1 {
-		t.Run(0, n)
+		runChunk(t, -1, 0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
 	nchunks := (n + chunk - 1) / chunk
 	if nchunks <= 1 {
-		t.Run(0, n)
+		runChunk(t, -1, 0, n)
 		return
 	}
 	if p.seqRng != nil {
@@ -180,7 +204,7 @@ func (p *Pool) Run(workers, n int, t Task) {
 			if hi > n {
 				hi = n
 			}
-			t.Run(lo, hi)
+			runChunk(t, -1, lo, hi)
 		}
 		return
 	}
@@ -197,17 +221,17 @@ func (p *Pool) Run(workers, n int, t Task) {
 		default:
 			// Queue full: run the chunk inline instead of blocking, so a
 			// Run issued from inside a worker can never wedge the pool.
-			c.exec()
+			c.execOn(-1)
 		}
 	}
-	t.Run(0, chunk)
+	runChunk(t, -1, 0, chunk)
 	for {
 		select {
 		case c := <-p.tasks:
 			// Help drain the queue while waiting for our own chunks: the
 			// stolen chunk may belong to another (possibly nested) Run,
 			// which keeps every concurrent invocation progressing.
-			c.exec()
+			c.execOn(-1)
 		case <-d.ch:
 			p.putDone(d)
 			return

@@ -184,3 +184,65 @@ func TestRunUsesAtMostPoolSizeWorkers(t *testing.T) {
 		t.Fatalf("dispatched %d chunks with pool size 2", got)
 	}
 }
+
+// shardRecorder records which worker executed each index.
+type shardRecorder struct {
+	workers []int32 // per index: worker+2, so 0 = unvisited, 1 = caller (-1)
+	runs    atomic.Int32
+}
+
+func (s *shardRecorder) Run(lo, hi int) { s.runs.Add(1) }
+func (s *shardRecorder) RunShard(worker, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.StoreInt32(&s.workers[i], int32(worker)+2)
+	}
+}
+
+func TestShardTaskReceivesWorkerIdentity(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 4000
+	rec := &shardRecorder{workers: make([]int32, n)}
+	p.Run(4, n, rec)
+	if rec.runs.Load() != 0 {
+		t.Fatal("ShardTask must route through RunShard, not Run")
+	}
+	for i, w := range rec.workers {
+		if w == 0 {
+			t.Fatalf("index %d unvisited", i)
+		}
+		if worker := int(w) - 2; worker < -1 || worker >= p.Size() {
+			t.Fatalf("index %d: worker %d out of range [-1, %d)", i, worker, p.Size())
+		}
+	}
+	// The caller always runs chunk 0 itself.
+	if got := int(rec.workers[0]) - 2; got != -1 {
+		t.Fatalf("chunk 0 worker = %d, want -1 (caller)", got)
+	}
+}
+
+func TestShardTaskSequentialAndInlineReportCaller(t *testing.T) {
+	for _, mk := range []func() *Pool{
+		func() *Pool { return NewSequential(4, 1) },
+		func() *Pool { return New(4) },
+	} {
+		p := mk()
+		rec := &shardRecorder{workers: make([]int32, 100)}
+		if p.Sequential() {
+			p.Run(4, 100, rec)
+		} else {
+			p.Run(1, 100, rec) // workers<=1: inline path
+			defer p.Close()
+		}
+		for i, w := range rec.workers {
+			if p.Sequential() || i < 100 {
+				if w != 0 && int(w)-2 != -1 {
+					t.Fatalf("inline/sequential chunk reported worker %d", int(w)-2)
+				}
+			}
+			if w == 0 {
+				t.Fatalf("index %d unvisited", i)
+			}
+		}
+	}
+}

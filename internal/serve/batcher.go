@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -23,6 +24,10 @@ type Result struct {
 	Version int64 `json:"model_version"`
 	// BatchSize is how many requests rode in the same micro-batch.
 	BatchSize int `json:"batch_size"`
+	// Trace is the request's span trace ID (16 hex digits), set when the
+	// core runs with a Tracer; it keys the exported span tree and echoes
+	// back in the X-Trace-Id response header.
+	Trace string `json:"trace,omitempty"`
 	// QueueWait is time from admission to batch dispatch.
 	QueueWait time.Duration `json:"-"`
 }
@@ -38,6 +43,13 @@ type request struct {
 	res      Result
 	err      error
 	done     chan struct{}
+
+	// tr is the request's span trace (nil when tracing is off); doneAt is
+	// stamped by the dispatcher just before the completion signal, so the
+	// requester can close the attribution chain with a "resume" span
+	// covering its own wake-up latency.
+	tr     *span.Trace
+	doneAt time.Time
 }
 
 // Predict scores one example (cols/vals are the sparse feature vector; for
@@ -47,8 +59,17 @@ type request struct {
 // arbitrary concurrent callers; that concurrency is exactly what fills
 // batches.
 func (c *Core) Predict(cols []int32, vals []float64) (Result, error) {
+	return c.PredictTraced(cols, vals, 0)
+}
+
+// PredictTraced is Predict carrying a caller-supplied trace ID (0 = assign
+// one), the in-process end of X-Trace-Id propagation. The request's span
+// trace covers admission through wake-up; its outcome also lands in the SLO
+// windows (client-side feature errors excluded — they spend no budget).
+func (c *Core) PredictTraced(cols []int32, vals []float64, id span.ID) (Result, error) {
 	sn := c.store.Load()
 	if sn == nil {
+		c.slo.Record(0, true)
 		return Result{}, ErrNoModel
 	}
 	if len(cols) != len(vals) {
@@ -59,39 +80,69 @@ func (c *Core) Predict(cols []int32, vals []float64) (Result, error) {
 			return Result{}, ErrBadFeatures
 		}
 	}
+	start := time.Now()
+	tr := c.tracer.Start("predict", id)
 	r := c.reqPool.Get().(*request)
 	r.cols, r.vals = cols, vals
 	r.err = nil
+	r.tr = tr
+	r.doneAt = time.Time{}
 	r.enqueued = time.Now()
 	select {
 	case c.queue <- r:
 		c.stats.requests.Add(1)
+		tr.Record("admission", "", tr.Epoch(), r.enqueued, -1, "")
 	case <-c.stop:
+		r.tr = nil
 		c.reqPool.Put(r)
+		c.slo.Record(time.Since(start).Seconds(), true)
+		tr.Finish("closed")
 		return Result{}, ErrClosed
 	default:
+		r.tr = nil
 		c.reqPool.Put(r)
 		c.stats.rejected.Add(1)
 		c.rec.Add(obs.CounterServeRejected, 1)
+		tr.Record("admission", "", tr.Epoch(), time.Now(), -1, "")
+		c.slo.Record(time.Since(start).Seconds(), true)
+		tr.Finish("overloaded")
 		return Result{}, ErrOverloaded
 	}
 	select {
 	case <-r.done:
 		res, err := r.res, r.err
+		c.finishRequest(tr, start, r.doneAt, err)
 		r.cols, r.vals = nil, nil
+		r.tr = nil
 		c.reqPool.Put(r)
 		return res, err
 	case <-c.done:
 		// Dispatcher exited; a completion signal sent before it closed may
-		// still be buffered.
+		// still be buffered. The request object is NOT recycled on this
+		// path (the dispatcher may still hold it), so the trace is finished
+		// but the *request leaks to GC — shutdown-only, by design.
 		select {
 		case <-r.done:
 			res, err := r.res, r.err
+			c.finishRequest(tr, start, r.doneAt, err)
 			return res, err
 		default:
+			c.slo.Record(time.Since(start).Seconds(), true)
+			tr.Finish("closed")
 			return Result{}, ErrClosed
 		}
 	}
+}
+
+// finishRequest closes a completed request's trace — a "resume" span from
+// the dispatcher's completion stamp to now, covering scheduler wake-up — and
+// folds the outcome into the SLO windows.
+func (c *Core) finishRequest(tr *span.Trace, start, doneAt time.Time, err error) {
+	if tr != nil && !doneAt.IsZero() {
+		tr.Record("resume", "", doneAt, time.Now(), -1, "")
+	}
+	c.slo.Record(time.Since(start).Seconds(), err != nil)
+	tr.Finish(errKind(err))
 }
 
 // batchArena holds the dispatcher-owned buffers a flush assembles the
@@ -128,13 +179,17 @@ func (a *batchArena) assemble(batch []*request, dim int) {
 }
 
 // scoreTask scores request rows [lo, hi) of the assembled batch; chunks run
-// concurrently on the pool, each with its own model scratch.
+// concurrently on the pool, each with its own model scratch. When a carrier
+// trace is set (the first traced request of the batch) every chunk also
+// records a "score/shard" span tagged with the executing pool worker, so one
+// exemplar per batch shows how the pool split the scoring work.
 type scoreTask struct {
-	c      *Core
-	w      []float64
-	ds     *data.Dataset
-	batch  []*request
-	scores []float64
+	c       *Core
+	w       []float64
+	ds      *data.Dataset
+	batch   []*request
+	scores  []float64
+	carrier *span.Trace
 }
 
 func (t *scoreTask) Run(lo, hi int) {
@@ -143,6 +198,19 @@ func (t *scoreTask) Run(lo, hi int) {
 		t.scores[i] = t.c.scorer.Score(t.w, t.ds, i, scr)
 	}
 	t.c.scratch.Put(scr)
+}
+
+// RunShard is the pool.ShardTask hook: identical work, plus the per-worker
+// shard span into the carrier trace. With no carrier (tracing off, or an
+// all-unsampled batch) the chunk pays one nil check and nothing else.
+func (t *scoreTask) RunShard(worker, lo, hi int) {
+	if t.carrier == nil {
+		t.Run(lo, hi)
+		return
+	}
+	begin := time.Now()
+	t.Run(lo, hi)
+	t.carrier.Record("score/shard", "score", begin, time.Now(), worker, "")
 }
 
 // dispatch is the batcher loop: collect a micro-batch (flush on MaxBatch or
@@ -201,18 +269,31 @@ func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, score
 	depth := len(c.queue)
 	sn := c.store.Load() // non-nil: admission checked, publishes are monotonic
 	stream := c.faults.stream()
+	flushStart := time.Now()
 
 	arena.assemble(batch, sn.Dim)
+	var carrier *span.Trace
+	for _, r := range batch {
+		if r.tr != nil {
+			carrier = r.tr
+			break
+		}
+	}
 	start := time.Now()
-	*task = scoreTask{c: c, w: sn.Weights, ds: &arena.ds, batch: batch, scores: scores[:n]}
+	*task = scoreTask{c: c, w: sn.Weights, ds: &arena.ds, batch: batch, scores: scores[:n], carrier: carrier}
 	c.cfg.Pool.RunGrain(c.cfg.Workers, n, c.cfg.Grain, task)
 	compute := time.Since(start)
+	computeEnd := time.Now()
+	stallEnd := computeEnd
+	stalled := false
 	if d := c.faults.stretch(stream, compute); d > 0 {
 		// The straggler's share of dispatches runs factor× slower, exactly
 		// like a straggling training worker; the sleep is the modeled extra
 		// service time, observable in the latency tail under load.
 		time.Sleep(d)
 		compute += d
+		stallEnd = time.Now()
+		stalled = true
 	}
 
 	now := time.Now()
@@ -221,9 +302,11 @@ func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, score
 		oldest = 0
 	}
 	for i, r := range batch {
+		fault := ""
 		if c.faults.dropped(stream) {
 			r.err = ErrInjectedDrop
 			c.stats.dropped.Add(1)
+			fault = "drop"
 		} else {
 			score := scores[i]
 			label := -1.0
@@ -239,6 +322,20 @@ func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, score
 		lat := now.Sub(r.enqueued).Seconds()
 		c.stats.latency.Record(lat)
 		c.rec.Observe(obs.MetricServeLatency, lat)
+		if tr := r.tr; tr != nil {
+			// The contiguous attribution chain: every instant between
+			// enqueue and the completion stamp belongs to exactly one named
+			// top-level span, so p99 wall time decomposes without residue.
+			tr.Record("queue_wait", "", r.enqueued, flushStart, -1, "")
+			tr.Record("batch_assembly", "", flushStart, start, -1, "")
+			tr.Record("score", "", start, computeEnd, -1, "")
+			if stalled {
+				tr.Record("chaos_stall", "", computeEnd, stallEnd, -1, "straggler")
+			}
+			r.doneAt = time.Now()
+			tr.Record("finalize", "", stallEnd, r.doneAt, -1, fault)
+			r.res.Trace = tr.ID().String()
+		}
 		r.done <- struct{}{}
 	}
 	c.stats.batches.Add(1)

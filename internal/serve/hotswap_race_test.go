@@ -100,6 +100,7 @@ func TestHotSwapNoTornReads(t *testing.T) {
 // serving path under the race detector — and checks that served versions are
 // monotone and that training publishes actually landed mid-traffic.
 func TestOnlineTrainerPublishesWhileServing(t *testing.T) {
+	assertNoLeak := leakCheck(t)
 	spec, err := data.Lookup("covtype")
 	if err != nil {
 		t.Fatal(err)
@@ -181,4 +182,8 @@ func TestOnlineTrainerPublishesWhileServing(t *testing.T) {
 	}
 	t.Logf("served %d predictions across %d publishes (%d epochs), final loss %.4f",
 		served.Load(), store.Swaps(), tr.Epochs, sn.Loss)
+	// Trainer stopped and core closed: every goroutine this test started
+	// (trainer, dispatcher, readers) must be gone.
+	c.Close()
+	assertNoLeak()
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/span"
 )
 
 // Errors surfaced to callers of Core.Predict (the HTTP layer maps them to
@@ -99,6 +100,17 @@ type Config struct {
 	Plan chaos.Plan
 	// ChaosSeed seeds the plan's deterministic fate streams.
 	ChaosSeed int64
+	// Tracer, when non-nil, opens a request-level span trace per admitted
+	// prediction: admission, queue wait, batch assembly, scoring (with
+	// per-worker shards), chaos stalls and completion all become named
+	// spans rooted at the request's trace ID. Nil = no tracing, no cost
+	// beyond nil checks.
+	Tracer *span.Tracer
+	// SLO, when non-nil, folds every request outcome (end-to-end latency,
+	// server-side errors) into multi-window burn-rate objectives surfaced
+	// at /slo and in /metrics. Client errors (ErrBadFeatures) are not
+	// recorded: they spend no server budget.
+	SLO *span.SLO
 }
 
 // withDefaults returns cfg with every unset knob at its default.
@@ -134,6 +146,8 @@ type Core struct {
 	stats  *Stats
 	rec    obs.Recorder
 	faults *faults
+	tracer *span.Tracer
+	slo    *span.SLO
 
 	queue    chan *request
 	scratch  sync.Pool // of model.Scratch for the served model
@@ -156,6 +170,8 @@ func NewCore(scorer model.Scorer, store *Store, cfg Config) *Core {
 		stats:  newStats(store),
 		rec:    obs.Or(cfg.Rec),
 		faults: newFaults(cfg.Plan, cfg.ChaosSeed, cfg.Workers),
+		tracer: cfg.Tracer,
+		slo:    cfg.SLO,
 		queue:  make(chan *request, cfg.QueueDepth),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -174,6 +190,33 @@ func (c *Core) Stats() *Stats { return c.stats }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// Tracer returns the request tracer (nil when tracing is off).
+func (c *Core) Tracer() *span.Tracer { return c.tracer }
+
+// SLO returns the burn-rate engine (nil when no objectives are configured).
+func (c *Core) SLO() *span.SLO { return c.slo }
+
+// errKind names a serving error for trace records ("" for success); the
+// stable short forms appear in TraceRec.Err and keep-reason decisions.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrNoModel):
+		return "no_model"
+	case errors.Is(err, ErrInjectedDrop):
+		return "injected_drop"
+	case errors.Is(err, ErrBadFeatures):
+		return "bad_features"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		return "internal"
+	}
+}
 
 // Close stops the dispatcher; queued requests are failed with ErrClosed.
 // Double Close is safe.

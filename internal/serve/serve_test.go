@@ -133,12 +133,14 @@ func TestAdmissionControlRejectsWhenQueueFull(t *testing.T) {
 }
 
 func TestCloseFailsPendingAndFuturePredicts(t *testing.T) {
+	assertNoLeak := leakCheck(t)
 	c := NewCore(model.NewLR(2), lrStore([]float64{1, 1}), Config{})
 	c.Close()
 	c.Close() // double Close is safe
 	if _, err := c.Predict([]int32{0}, []float64{1}); err != ErrClosed {
 		t.Fatalf("after Close: err = %v, want ErrClosed", err)
 	}
+	assertNoLeak() // the dispatcher goroutine must be gone after Close
 }
 
 func TestChaosDropFailsRequests(t *testing.T) {

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/span"
 )
 
 // Server is the HTTP/JSON transport over a Core:
@@ -18,10 +20,14 @@ import (
 //	               | {"instances":[{...},{...}]}
 //	GET  /healthz  served model identity + effective serving config
 //	GET  /stats    Stats report as JSON
+//	GET  /slo      burn-rate evaluation of the configured objectives
 //	GET  /metrics  Prometheus text (serving stats + any extra families)
 //
 // Admission control surfaces as HTTP 429 with a Retry-After header; an
-// unpublished model as 503; malformed features as 400.
+// unpublished model as 503; malformed features as 400. When the core runs
+// with a Tracer, a single-instance /predict honours an X-Trace-Id request
+// header (16 hex digits) and every prediction echoes its trace ID in the
+// X-Trace-Id response header and the "trace" body field.
 type Server struct {
 	core  *Core
 	extra func() string // appended to /metrics (e.g. the obs aggregator)
@@ -82,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -132,7 +139,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("%w: %v", ErrBadFeatures, err))
 			return
 		}
-		res, err := s.core.Predict(cols, vals)
+		// A client-supplied trace ID stitches the server-side span tree to
+		// the caller's own records (cmd/sgdload's closed-loop workers).
+		id, _ := span.ParseID(r.Header.Get("X-Trace-Id"))
+		res, err := s.core.PredictTraced(cols, vals, id)
+		if res.Trace != "" {
+			w.Header().Set("X-Trace-Id", res.Trace)
+		}
 		if err != nil {
 			writeError(w, err)
 			return
@@ -227,9 +240,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.core.Stats().Snapshot())
 }
 
+// handleSLO answers the burn-rate evaluation. With no objectives configured
+// the endpoint still answers (an empty report), so probers need not know the
+// server's configuration.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.core.SLO().Snapshot())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	s.core.Stats().WriteProm(&b)
+	s.core.Tracer().WriteProm(&b)
+	s.core.SLO().WriteProm(&b)
 	if s.extra != nil {
 		b.WriteString(s.extra())
 	}

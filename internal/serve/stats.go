@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync/atomic"
 )
@@ -206,4 +207,27 @@ func (s *Stats) WriteProm(b *strings.Builder) {
 	fmt.Fprintf(b, "sgd_serve_latency_seconds{quantile=\"0.9\"} %g\n", r.LatencyP90)
 	fmt.Fprintf(b, "sgd_serve_latency_seconds{quantile=\"0.99\"} %g\n", r.LatencyP99)
 	fmt.Fprintf(b, "sgd_serve_latency_seconds{quantile=\"1\"} %g\n", r.LatencyMax)
+	// The same distributions again as standard cumulative histograms, so
+	// off-the-shelf tooling (histogram_quantile, burn-rate recording rules)
+	// works without knowing the custom quantile-gauge families above.
+	writePromHist(b, "sgd_serve_request_duration_seconds", "End-to-end request latency.", s.latency)
+	writePromHist(b, "sgd_serve_batch_size", "Requests per dispatched micro-batch.", s.batchSize)
+}
+
+// writePromHist renders one hist in the standard Prometheus histogram
+// exposition: cumulative `le` buckets plus _sum and _count. Bucket reads are
+// not atomic as a set — concurrent Records can land between loads — which
+// only means the rendered cumulative counts may lag each other by in-flight
+// samples, the same eventual consistency every scraped histogram has.
+func writePromHist(b *strings.Builder, name, help string, h *hist) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum.Load())
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
 }
