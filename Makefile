@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke span-smoke
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,15 @@ mdcheck:
 serve-smoke:
 	$(GO) run ./cmd/sgdload -inproc -duration 2s -conc 64 -check -min-speedup 2 \
 		-out $${SERVE_TMP:-$$(mktemp -t serve-smoke.XXXXXX.json)}
+
+# quant-smoke is the int8 serving gate: drive the same serving stack float
+# then quantised, probe every row's score against the analytic error bound,
+# and fail if the quantised path costs throughput (serving requests are
+# dispatch-dominated, so the floor is "no slower than ~0.8x float"; the
+# >= 1.5x kernel-level win is gated separately via bench-compare).
+quant-smoke:
+	$(GO) run ./cmd/sgdload -quant-ab -duration 2s -conc 64 -check -expect-speedup 0.8 \
+		-out $${QUANT_TMP:-$$(mktemp -t quant-smoke.XXXXXX.json)}
 
 # span-smoke is the tracing/SLO gate: a healthy sgdserve must keep its SLO
 # quiet with >= 95% of the p99 tail attributed to named spans, and the same

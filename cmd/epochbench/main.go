@@ -6,8 +6,12 @@
 //   - nnz-balanced vs even row partitioning for SpMV/SpMVT on a
 //     heavy-tailed matrix — wall clock plus the critical-path nnz skew that
 //     decides scaling on a many-core machine;
-//   - steady-state allocation counts of the LR/SVM mini-batch gradient and
-//     the pooled SpMVT;
+//   - the int8 quantised scoring kernel vs its identically-shaped float64
+//     twin at serving dimension, with per-row analytic error-bound checks;
+//   - striped (coalescing micro-batch) vs classic Hogwild epochs under the
+//     counting-CAS discipline: wall time, coalesced fraction, retry delta;
+//   - steady-state allocation counts of the LR/SVM mini-batch gradient, the
+//     pooled SpMVT, the quantised SpMV, and the striped sequential epoch;
 //   - CSR assembly (Builder.Build) throughput.
 //
 // None of these numbers feed the paper reproduction: modeled device times
@@ -40,6 +44,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/model"
@@ -59,6 +64,8 @@ type report struct {
 	Dispatch   dispatchReport  `json:"small_kernel_epoch"`
 	SpMV       partitionReport `json:"spmv"`
 	SpMVT      partitionReport `json:"spmvt"`
+	Quant      quantReport     `json:"quant_score"`
+	Striped    stripedReport   `json:"striped_hogwild"`
 	Allocs     allocsReport    `json:"steady_state_allocs_per_op"`
 	BuildNsOp  int64           `json:"builder_build_ns_op"`
 }
@@ -87,6 +94,49 @@ type allocsReport struct {
 	LRBatchGrad  float64 `json:"lr_batchgrad"`
 	SVMBatchGrad float64 `json:"svm_batchgrad"`
 	SpMVT        float64 `json:"spmvt"`
+	QuantSpMV    float64 `json:"quant_spmv"`
+	StripedEpoch float64 `json:"striped_epoch"`
+}
+
+// quantReport compares the int8 quantised scoring kernel against the
+// identically-structured float64 kernel at equal batch size and dispatch
+// (linalg.Int8Kernel). The dimension is chosen so the float64 weight vector
+// spills the L2 cache while its int8 twin stays resident — the serving-size
+// regime where quantisation pays.
+type quantReport struct {
+	Dim             int     `json:"dim"`
+	BatchRows       int     `json:"batch_rows"`
+	RowNNZ          int     `json:"row_nnz"`
+	Workers         int     `json:"workers"`
+	FloatNsOp       int64   `json:"float_ns_op"`
+	QuantNsOp       int64   `json:"quant_ns_op"`
+	Speedup         float64 `json:"speedup"`
+	MaxAbsDelta     float64 `json:"max_abs_delta"`
+	BoundViolations int     `json:"bound_violations"`
+}
+
+// stripedReport compares striped (per-worker coalescing micro-batch)
+// Hogwild against the classic per-update path, both under the counting
+// atomic discipline on the same data and seeds. The coalesced fraction and
+// issued-adds ratio are functions of the dataset and window only — machine-
+// independent — while CAS retries depend on real core-level concurrency, so
+// the retry ratio is reported as 0 (informational) when the unstriped run
+// saw fewer than casRetryFloor retries (single-core hosts).
+type stripedReport struct {
+	Rows                int     `json:"rows"`
+	Threads             int     `json:"threads"`
+	Window              int     `json:"window"`
+	Epochs              int     `json:"epochs"`
+	UnstripedNsOp       int64   `json:"unstriped_ns_op"`
+	StripedNsOp         int64   `json:"striped_ns_op"`
+	NsOpRatio           float64 `json:"ns_op_ratio"`
+	AddsUnstriped       int64   `json:"atomic_adds_unstriped"`
+	AddsStriped         int64   `json:"atomic_adds_striped"`
+	CoalescedFrac       float64 `json:"coalesced_frac"`
+	Flushes             int64   `json:"flushes"`
+	CASRetriesUnstriped int64   `json:"cas_retries_unstriped"`
+	CASRetriesStriped   int64   `json:"cas_retries_striped"`
+	RetryRatio          float64 `json:"retry_ratio"`
 }
 
 // scaleTask is the pre-bound small kernel of the dispatch benchmark.
@@ -278,6 +328,178 @@ func benchSpMVT(a *sparse.CSR, parts int) partitionReport {
 	return rep
 }
 
+// serveBatchCSR builds a scoring batch: rows examples of nnz features each,
+// the columns spread uniformly over the full dimension so every row streams
+// the whole weight vector's address range — the access pattern that makes
+// the float64 vector's cache footprint the bottleneck.
+func serveBatchCSR(rows, dim, nnz, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(int(rows), int(dim))
+	stride := int(dim) / int(nnz)
+	for i := 0; i < int(rows); i++ {
+		for k := 0; k < int(nnz); k++ {
+			b.Add(i, k*stride+rng.Intn(stride), rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+// minNsOp is testing.Benchmark repeated `runs` times keeping the best
+// ns/op. Wall-clock minima are the standard defense against a noisy
+// (shared, single-core) host: interference only ever slows a run down, so
+// the minimum is the closest observable to the kernel's true cost.
+func minNsOp(runs int, f func()) int64 {
+	best := int64(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		if v := res.NsPerOp(); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// benchQuant measures the int8 quantised SpMV against its float64 twin
+// (identical dispatch and unrolling, linalg.Int8Kernel) on a serving-size
+// batch, verifies every quantised score against the analytic error bound
+// (untimed), and proves the steady-state quantised path allocation-free.
+//
+// The timed kernels run serially (workers=1) with best-of-3 ns/op: the
+// quantisation win is a memory-footprint property of the kernel itself
+// (int8 weights L2-resident where the float64 vector spills), and pool
+// dispatch on an unknown host adds scheduling noise without changing that
+// ratio — both paths fan out identically in production.
+func benchQuant(dim, rows, nnz, workers int) (quantReport, float64) {
+	a := serveBatchCSR(int64(rows), int64(dim), int64(nnz), 11)
+	rng := rand.New(rand.NewSource(12))
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	qw := model.Quantize(w)
+	k := linalg.NewInt8Kernel(workers)
+	yf := make([]float64, rows)
+	yq := make([]float64, rows)
+
+	// Untimed accuracy check: every row's |quant − float| must sit inside
+	// its analytic bound (the same slack internal/regress applies — the two
+	// kernels reassociate identically here, but keep the gates consistent).
+	k.SpMVFloat(a, w, yf)
+	k.SpMV(a, qw, yq)
+	rep := quantReport{Dim: dim, BatchRows: rows, RowNNZ: nnz, Workers: workers}
+	for i := 0; i < rows; i++ {
+		d := yq[i] - yf[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > rep.MaxAbsDelta {
+			rep.MaxAbsDelta = d
+		}
+		if bound := qw.RowErrorBound(a, i); d > bound*(1+1e-9)+1e-12 {
+			rep.BoundViolations++
+		}
+	}
+
+	rep.FloatNsOp = minNsOp(3, func() { k.SpMVFloat(a, w, yf) })
+	rep.QuantNsOp = minNsOp(3, func() { k.SpMV(a, qw, yq) })
+	rep.Speedup = float64(rep.FloatNsOp) / float64(rep.QuantNsOp)
+	allocs := testing.AllocsPerRun(20, func() { k.SpMV(a, qw, yq) })
+	return rep, allocs
+}
+
+// benchStriped compares striped against classic Hogwild on the same scaled
+// w8a sample: both engines run the counting-CAS discipline with 4 workers
+// and identical shuffle seeds, so the only difference is the per-worker
+// coalescing micro-batch. Wall time is measured manually over fixed epochs
+// (not testing.Benchmark) so the stripe and CAS-retry counters correspond
+// exactly to the timed work.
+func benchStriped(n, epochs int) (stripedReport, float64, error) {
+	spec, err := data.Lookup("w8a")
+	if err != nil {
+		return stripedReport{}, 0, err
+	}
+	ds := data.Generate(spec.Scaled(float64(n) / float64(spec.N)))
+	const threads, window = 4, 256
+	// Epochs reports the total timed epochs (3 best-of rounds of `epochs`);
+	// the add/retry/flush counters below cover exactly that span.
+	rep := stripedReport{Rows: ds.N(), Threads: threads, Window: window, Epochs: 3 * epochs}
+
+	runOne := func(stripe bool) (nsOp int64, retries, flushes, coalesced, applied int64) {
+		m := model.NewLR(ds.D())
+		upd := &model.CountingAtomicUpdater{}
+		eng := core.NewHogwild(m, ds, 0.05, threads)
+		eng.Updater = upd
+		if stripe {
+			eng.StripeWindow = window
+		}
+		eng.SetShuffleSeed(42)
+		w := m.InitParams(1)
+		eng.RunEpoch(w) // warm-up: builds buffers, scratches, partitions
+		warmRetries := upd.Retries()
+		_, warmCoalesced, warmApplied := eng.StripeCounters()
+		// Best-of-3 rounds of `epochs` epochs against host noise; the
+		// counters are deterministic functions of the data and accumulate
+		// over every round.
+		best := int64(1<<63 - 1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			for e := 0; e < epochs; e++ {
+				eng.RunEpoch(w)
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < best {
+				best = ns
+			}
+		}
+		nsOp = best / int64(epochs*ds.N())
+		retries = upd.Retries() - warmRetries
+		flushes, coalesced, applied = eng.StripeCounters()
+		coalesced -= warmCoalesced
+		applied -= warmApplied
+		return
+	}
+
+	unNs, unRetries, _, _, _ := runOne(false)
+	stNs, stRetries, flushes, coalesced, applied := runOne(true)
+	rep.UnstripedNsOp, rep.StripedNsOp = unNs, stNs
+	rep.NsOpRatio = float64(stNs) / float64(unNs)
+	// The striped run issued `applied` base-updater adds and merged away
+	// `coalesced`; the unstriped run, over the same shuffles, issues every
+	// one of them.
+	rep.AddsUnstriped = applied + coalesced
+	rep.AddsStriped = applied
+	if total := applied + coalesced; total > 0 {
+		rep.CoalescedFrac = float64(coalesced) / float64(total)
+	}
+	rep.Flushes = flushes
+	rep.CASRetriesUnstriped = unRetries
+	rep.CASRetriesStriped = stRetries
+	// CAS retries need real core-level concurrency to mean anything: on a
+	// host where the unstriped run barely contends, the ratio is noise, so
+	// it is reported as 0 (informational) below the floor.
+	const casRetryFloor = 50
+	if unRetries >= casRetryFloor {
+		rep.RetryRatio = float64(stRetries) / float64(unRetries)
+	}
+
+	// Alloc proof on the sequential striped path (Threads=1): AllocsPerRun
+	// pins GOMAXPROCS to 1, which would push a 4-thread engine onto the
+	// emulated path and measure the wrong thing. The sequential engine runs
+	// the same StripeBuffer Add/Flush hot loop; the concurrent dispatch
+	// around it is already pinned alloc-free by the pool benchmarks.
+	m := model.NewLR(ds.D())
+	eng := core.NewHogwild(m, ds, 0.05, 1)
+	eng.Updater = &model.CountingAtomicUpdater{}
+	eng.StripeWindow = window
+	w := m.InitParams(1)
+	eng.RunEpoch(w)
+	allocs := testing.AllocsPerRun(3, func() { eng.RunEpoch(w) })
+	return rep, allocs, nil
+}
+
 func measureAllocs(n int) (allocsReport, error) {
 	spec, err := data.Lookup("w8a")
 	if err != nil {
@@ -360,11 +582,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runtime.GOMAXPROCS(*procs)
 
 	rows, cols, kernels, allocN, buildRows := 50000, 4000, 256, 2000, 30000
+	// The quantised-scoring dim makes the float64 weight vector (8B/comp)
+	// spill a ~2MB L2 while the int8 one stays resident — the regime the
+	// serving tier targets. Striped-Hogwild epochs trade count for stable
+	// wall-clock means.
+	quantDim, quantRows, quantNNZ := 1<<19, 2048, 256
+	stripeN, stripeEpochs := 20000, 20
 	if *short {
 		rows, cols, kernels, allocN, buildRows = 10000, 1500, 64, 800, 8000
+		quantRows, stripeN, stripeEpochs = 1024, 8000, 8
 	}
 	if *tiny {
 		rows, cols, kernels, allocN, buildRows = 1500, 400, 8, 300, 1000
+		quantDim, quantRows, quantNNZ = 1<<14, 256, 16
+		stripeN, stripeEpochs = 1000, 2
 		// testing.Benchmark sizes runs by -test.benchtime; registering the
 		// testing flags (idempotent) lets us shrink it without a test binary.
 		testing.Init()
@@ -387,13 +618,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.SpMV = benchSpMV(a, 8)
 	fmt.Fprintln(stderr, "epochbench: spmvt...")
 	rep.SpMVT = benchSpMVT(a, 8)
-	fmt.Fprintln(stderr, "epochbench: steady-state allocations...")
+	fmt.Fprintln(stderr, "epochbench: quantised scoring (int8 vs float64)...")
+	rep.Quant, rep.Allocs.QuantSpMV = benchQuant(quantDim, quantRows, quantNNZ, 1)
+	fmt.Fprintln(stderr, "epochbench: striped hogwild (window coalescing)...")
 	var err error
-	rep.Allocs, err = measureAllocs(allocN)
+	rep.Striped, rep.Allocs.StripedEpoch, err = benchStriped(stripeN, stripeEpochs)
 	if err != nil {
 		fmt.Fprintln(stderr, "epochbench:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "epochbench: steady-state allocations...")
+	var allocs allocsReport
+	allocs, err = measureAllocs(allocN)
+	if err != nil {
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
+	}
+	allocs.QuantSpMV, allocs.StripedEpoch = rep.Allocs.QuantSpMV, rep.Allocs.StripedEpoch
+	rep.Allocs = allocs
 	fmt.Fprintln(stderr, "epochbench: builder build...")
 	rep.BuildNsOp = benchBuild(buildRows, 5000)
 
@@ -414,6 +656,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.SpMV.SkewEven, rep.SpMV.SkewBal,
 		rep.SpMVT.EvenNsOp, rep.SpMVT.BalancedNsOp,
 		rep.Allocs.LRBatchGrad, rep.Allocs.SVMBatchGrad)
+	fmt.Fprintf(stdout, "quant int8 %.2fx vs float (%d -> %d ns/op, max delta %.3g, %d bound violations, %.0f allocs); "+
+		"striped hogwild ratio %.2f (%d -> %d ns/update, coalesced %.1f%%, retries %d -> %d, %.0f allocs)\n",
+		rep.Quant.Speedup, rep.Quant.FloatNsOp, rep.Quant.QuantNsOp,
+		rep.Quant.MaxAbsDelta, rep.Quant.BoundViolations, rep.Allocs.QuantSpMV,
+		rep.Striped.NsOpRatio, rep.Striped.UnstripedNsOp, rep.Striped.StripedNsOp,
+		100*rep.Striped.CoalescedFrac, rep.Striped.CASRetriesUnstriped, rep.Striped.CASRetriesStriped,
+		rep.Allocs.StripedEpoch)
 
 	if *compare != "" {
 		gate, err := regress.CompareBenchFiles(*compare, *out, nil)

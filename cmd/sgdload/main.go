@@ -7,8 +7,10 @@
 //	        [-duration 5s] [-dataset covtype] [-maxn 2000] [-out report.json] [-check]
 //	sgdload -inproc [-duration 2s] [-conc 64] [-workers 0] [-max-batch 64] \
 //	        [-out report.json] [-check] [-min-speedup 2]
+//	sgdload -quant-ab [-duration 2s] [-conc 64] [-workers 0] [-max-batch 64] \
+//	        [-out report.json] [-check] [-expect-speedup 0.8]
 //
-// Three modes:
+// Four modes:
 //
 //   - Closed loop (-conc N): N clients each keep exactly one request in
 //     flight; throughput is whatever the server sustains.
@@ -20,6 +22,16 @@
 //     batched/unbatched throughput ratio. This is the repo's measured
 //     evidence for the serving half of the paper's batching tradeoff; `make
 //     serve-smoke` gates on speedup >= 2.
+//   - Quantised A/B (-quant-ab): the same in-process harness, but the two
+//     phases differ only in Config.Quantized — float64 scoring vs the int8
+//     path of DESIGN §14 — at equal batch and worker settings. The report
+//     adds a serial accuracy probe over the whole dataset: max/mean
+//     |quant − float| score delta, analytic bound violations, and an FNV-1a
+//     checksum of the delta stream (same snapshot + dataset => same
+//     checksum, so quantiser drift is visible even inside the limits).
+//     -expect-speedup gates the quantised/float throughput ratio; serving
+//     requests are dispatch-dominated, so CI asserts "no throughput cost"
+//     (~1x) here and leaves the >=1.5x kernel win to epochbench's gate.
 //
 // The report embeds the server's /healthz payload (in-process: the
 // snapshot's own identity), so the core.Fingerprint discipline applies:
@@ -38,10 +50,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -81,14 +96,38 @@ type runReport struct {
 	AvgBatch      float64 `json:"avg_batch,omitempty"` // in-process only
 }
 
+// quantABReport is the quantised-vs-float serving comparison (-quant-ab):
+// two full serving phases differing only in Config.Quantized, plus a serial
+// accuracy probe over the whole dataset under the served snapshot.
+type quantABReport struct {
+	// Speedup is quantised/float served throughput at equal worker count.
+	// At serving dimensions a request is dispatch-dominated, so this hovers
+	// near 1; the CI assertion (-expect-speedup) gates "quantisation does
+	// not cost serving throughput", while the kernel-level >=1.5x win is
+	// measured where it lives, in epochbench's quant_score section.
+	Speedup float64 `json:"speedup"`
+	// MaxAbsDelta / MeanAbsDelta are |quant − float| score deltas over the
+	// probe; BoundViolations counts rows exceeding the analytic envelope.
+	MaxAbsDelta     float64 `json:"max_abs_delta"`
+	MeanAbsDelta    float64 `json:"mean_abs_delta"`
+	BoundViolations int     `json:"bound_violations"`
+	// DeltaChecksum is FNV-1a over the probe's delta bit patterns — two
+	// runs on the same snapshot and dataset must produce the same value,
+	// so a drifting quantiser shows up as a checksum change even when the
+	// summary stats stay inside their limits.
+	DeltaChecksum string `json:"delta_checksum"`
+	ProbeRows     int    `json:"probe_rows"`
+}
+
 // report is the JSON document sgdload writes.
 type report struct {
-	Target    string        `json:"target,omitempty"`
-	Server    *serve.Health `json:"server,omitempty"` // /healthz at run start
-	Runs      []runReport   `json:"runs"`
-	Speedup   float64       `json:"batched_speedup,omitempty"`
-	SLO       *span.Report  `json:"slo,omitempty"` // /slo after the run (HTTP mode)
-	CheckedOK bool          `json:"checked_ok,omitempty"`
+	Target    string         `json:"target,omitempty"`
+	Server    *serve.Health  `json:"server,omitempty"` // /healthz at run start
+	Runs      []runReport    `json:"runs"`
+	Speedup   float64        `json:"batched_speedup,omitempty"`
+	Quant     *quantABReport `json:"quant_ab,omitempty"`
+	SLO       *span.Report   `json:"slo,omitempty"` // /slo after the run (HTTP mode)
+	CheckedOK bool           `json:"checked_ok,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -103,12 +142,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxN       = fs.Int("maxn", 2000, "examples generated for payloads (and in-process training)")
 		seed       = fs.Int64("seed", 1, "payload sampling (and in-process training) seed")
 		inproc     = fs.Bool("inproc", false, "run the in-process batched vs unbatched A/B instead of HTTP load")
+		quantAB    = fs.Bool("quant-ab", false, "run the in-process quantised vs float serving A/B instead of HTTP load")
 		workers    = fs.Int("workers", 0, "in-process pool workers per dispatch, equal in both phases (0 = pool size)")
 		maxBatch   = fs.Int("max-batch", 64, "in-process batched phase's micro-batch bound")
 		pretrain   = fs.Int("pretrain", 3, "in-process Hogwild epochs before measuring")
 		outPath    = fs.String("out", "-", "write the JSON report here (- = stdout)")
 		check      = fs.Bool("check", false, "assert report sanity; exit 1 on violation")
 		minSpeedup = fs.Float64("min-speedup", 0, "with -check and -inproc: minimum batched/unbatched throughput ratio")
+		expSpeedup = fs.Float64("expect-speedup", 0, "with -check and -quant-ab: minimum quantised/float throughput ratio")
 		expAlert   = fs.String("expect-alert", "", "assert the server's /slo state after the run: fire|quiet (exit 1 on mismatch)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -118,8 +159,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sgdload: -expect-alert %q: want fire or quiet\n", *expAlert)
 		return 2
 	}
-	if *expAlert != "" && *inproc {
+	if *expAlert != "" && (*inproc || *quantAB) {
 		fmt.Fprintln(stderr, "sgdload: -expect-alert needs an HTTP target (/slo lives on the server)")
+		return 2
+	}
+	if *inproc && *quantAB {
+		fmt.Fprintln(stderr, "sgdload: -inproc and -quant-ab are separate A/Bs; pick one")
 		return 2
 	}
 
@@ -134,9 +179,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ds := data.Generate(spec)
 
 	var rep report
-	if *inproc {
+	switch {
+	case *inproc:
 		rep = runInproc(ds, *conc, *workers, *maxBatch, *pretrain, *duration, *seed)
-	} else {
+	case *quantAB:
+		rep = runQuantAB(ds, *conc, *workers, *maxBatch, *pretrain, *duration, *seed)
+	default:
 		rep, err = runHTTP(ds, *target, *conc, *rate, *duration, *seed)
 		if err != nil {
 			fmt.Fprintf(stderr, "sgdload: %v\n", err)
@@ -145,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *check {
-		if err := checkReport(&rep, *inproc, *minSpeedup); err != nil {
+		if err := checkReport(&rep, *inproc || *quantAB, *minSpeedup, *expSpeedup); err != nil {
 			fmt.Fprintf(stderr, "sgdload: check failed: %v\n", err)
 			emit(stderr, &rep, "-")
 			return 1
@@ -162,6 +210,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if rep.Speedup > 0 {
 		fmt.Fprintf(stderr, "sgdload: batched/unbatched speedup %.2fx at equal worker count\n", rep.Speedup)
+	}
+	if rep.Quant != nil {
+		fmt.Fprintf(stderr, "sgdload: quantised/float speedup %.2fx, max score delta %.3g over %d rows (%d bound violations, checksum %s)\n",
+			rep.Quant.Speedup, rep.Quant.MaxAbsDelta, rep.Quant.ProbeRows,
+			rep.Quant.BoundViolations, rep.Quant.DeltaChecksum)
 	}
 	if rep.SLO != nil {
 		for _, o := range rep.SLO.Objectives {
@@ -364,9 +417,9 @@ func fetchHealth(target string) (*serve.Health, error) {
 	return &h, nil
 }
 
-// runInproc trains a covtype-style LR and measures the same serving core
-// config twice — batched and MaxBatch=1 — at equal pool worker count.
-func runInproc(ds *data.Dataset, conc, workers, maxBatch, pretrain int, dur time.Duration, seed int64) report {
+// trainedServeStore trains a small LR and publishes its snapshot — the
+// shared setup of both in-process A/Bs.
+func trainedServeStore(ds *data.Dataset, pretrain int, seed int64) (*model.LR, []float64, *serve.Store) {
 	m := model.NewLR(ds.D())
 	w := m.InitParams(seed)
 	eng := core.NewHogwild(m, ds, 0.05, 4)
@@ -383,83 +436,149 @@ func runInproc(ds *data.Dataset, conc, workers, maxBatch, pretrain int, dur time
 			N: ds.N(), Threads: 4, Seed: seed,
 		},
 	})
+	return m, w, store
+}
 
-	measure := func(mode string, batch int) runReport {
-		// Both phases run the full production serving stack — including the
-		// per-batch obs instrumentation sgdserve always has on — so the only
-		// difference between them is MaxBatch.
-		agg := obs.NewAggregator()
-		c := serve.NewCore(m, store, serve.Config{
-			MaxBatch: batch, MaxDelay: 2 * time.Millisecond,
-			QueueDepth: 8 * conc, Workers: workers,
-			Rec: agg.Run(mode, ds.Name),
-		})
-		defer c.Close()
-		var (
-			ok, rejected, errs atomic.Int64
-			mu                 sync.Mutex
-			lat                []float64
-		)
-		deadline := time.Now().Add(dur)
-		start := time.Now()
-		var wg sync.WaitGroup
-		for k := 0; k < conc; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				rng := rand.New(rand.NewSource(seed + int64(k)))
-				var myLat []float64
-				for time.Now().Before(deadline) {
-					cols, vals := ds.X.Row(rng.Intn(ds.N()))
-					t0 := time.Now()
-					_, err := c.Predict(cols, vals)
-					switch err {
-					case nil:
-						ok.Add(1)
-						myLat = append(myLat, time.Since(t0).Seconds())
-					case serve.ErrOverloaded:
-						rejected.Add(1)
-					default:
-						errs.Add(1)
-					}
+// measureServe drives one serving core configuration with conc closed-loop
+// callers for dur. Every phase runs the full production stack — including
+// the per-batch obs instrumentation sgdserve always has on — so phases of
+// an A/B differ only in the Config fields the caller varies.
+func measureServe(m model.Scorer, store *serve.Store, ds *data.Dataset, mode string, cfg serve.Config, conc int, dur time.Duration, seed int64) runReport {
+	agg := obs.NewAggregator()
+	cfg.Rec = agg.Run(mode, ds.Name)
+	c := serve.NewCore(m, store, cfg)
+	defer c.Close()
+	var (
+		ok, rejected, errs atomic.Int64
+		mu                 sync.Mutex
+		lat                []float64
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < conc; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(k)))
+			var myLat []float64
+			for time.Now().Before(deadline) {
+				cols, vals := ds.X.Row(rng.Intn(ds.N()))
+				t0 := time.Now()
+				_, err := c.Predict(cols, vals)
+				switch err {
+				case nil:
+					ok.Add(1)
+					myLat = append(myLat, time.Since(t0).Seconds())
+				case serve.ErrOverloaded:
+					rejected.Add(1)
+				default:
+					errs.Add(1)
 				}
-				mu.Lock()
-				lat = append(lat, myLat...)
-				mu.Unlock()
-			}(k)
-		}
-		wg.Wait()
-		elapsed := time.Since(start).Seconds()
-		rr := runReport{
-			Mode: mode, DurationS: elapsed,
-			Sent: ok.Load() + rejected.Load() + errs.Load(),
-			OK:   ok.Load(), Rejected: rejected.Load(), Errors: errs.Load(),
-			ThroughputRPS: float64(ok.Load()) / elapsed,
-			AvgBatch:      c.Stats().Snapshot().AvgBatch,
-		}
-		rr.quantiles(lat)
-		return rr
+			}
+			mu.Lock()
+			lat = append(lat, myLat...)
+			mu.Unlock()
+		}(k)
 	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	rr := runReport{
+		Mode: mode, DurationS: elapsed,
+		Sent: ok.Load() + rejected.Load() + errs.Load(),
+		OK:   ok.Load(), Rejected: rejected.Load(), Errors: errs.Load(),
+		ThroughputRPS: float64(ok.Load()) / elapsed,
+		AvgBatch:      c.Stats().Snapshot().AvgBatch,
+	}
+	rr.quantiles(lat)
+	return rr
+}
 
-	batched := measure("inproc-batched", maxBatch)
-	unbatched := measure("inproc-unbatched", 1)
-
+// inprocHealth renders the served snapshot's identity the way /healthz would.
+func inprocHealth(store *serve.Store, maxBatch, workers int, quantized bool) *serve.Health {
 	sn := store.Load()
-	health := &serve.Health{
+	return &serve.Health{
 		Status: "ok", Model: sn.Model, ModelVersion: sn.Version,
 		Epoch: sn.Epoch, Loss: sn.Loss,
 		Fingerprint: sn.Fingerprint.String(), FingerprintKey: sn.Fingerprint.Key(),
-		MaxBatch: maxBatch, Workers: workers,
+		MaxBatch: maxBatch, Workers: workers, Quantized: quantized,
 	}
-	rep := report{Server: health, Runs: []runReport{batched, unbatched}}
+}
+
+// runInproc trains a covtype-style LR and measures the same serving core
+// config twice — batched and MaxBatch=1 — at equal pool worker count.
+func runInproc(ds *data.Dataset, conc, workers, maxBatch, pretrain int, dur time.Duration, seed int64) report {
+	m, _, store := trainedServeStore(ds, pretrain, seed)
+	cfg := func(batch int) serve.Config {
+		return serve.Config{
+			MaxBatch: batch, MaxDelay: 2 * time.Millisecond,
+			QueueDepth: 8 * conc, Workers: workers,
+		}
+	}
+	batched := measureServe(m, store, ds, "inproc-batched", cfg(maxBatch), conc, dur, seed)
+	unbatched := measureServe(m, store, ds, "inproc-unbatched", cfg(1), conc, dur, seed)
+
+	rep := report{Server: inprocHealth(store, maxBatch, workers, false), Runs: []runReport{batched, unbatched}}
 	if unbatched.ThroughputRPS > 0 {
 		rep.Speedup = batched.ThroughputRPS / unbatched.ThroughputRPS
 	}
 	return rep
 }
 
+// runQuantAB trains the same LR and measures the serving core twice at equal
+// batch and worker settings — float64 scoring vs the int8 quantised path —
+// then probes every dataset row through both scoring paths serially for the
+// accuracy half of the report (max/mean delta, analytic bound violations,
+// and a deterministic checksum of the delta stream).
+func runQuantAB(ds *data.Dataset, conc, workers, maxBatch, pretrain int, dur time.Duration, seed int64) report {
+	m, w, store := trainedServeStore(ds, pretrain, seed)
+	cfg := func(quantized bool) serve.Config {
+		return serve.Config{
+			MaxBatch: maxBatch, MaxDelay: 2 * time.Millisecond,
+			QueueDepth: 8 * conc, Workers: workers, Quantized: quantized,
+		}
+	}
+	// Float phase first: the quantised core flips the store to attach int8
+	// twins at publish, and keeping the float phase free of them keeps the
+	// two phases' snapshots byte-identical on the float side.
+	float := measureServe(m, store, ds, "inproc-float", cfg(false), conc, dur, seed)
+	quant := measureServe(m, store, ds, "inproc-quant", cfg(true), conc, dur, seed)
+
+	qab := &quantABReport{ProbeRows: ds.N()}
+	qw := model.Quantize(w)
+	scr := m.NewScratch()
+	sum := fnv.New64a()
+	var buf [8]byte
+	var totalDelta float64
+	for i := 0; i < ds.N(); i++ {
+		fs := m.Score(w, ds, i, scr)
+		qs := m.QuantScore(qw, ds, i)
+		d := math.Abs(qs - fs)
+		totalDelta += d
+		if d > qab.MaxAbsDelta {
+			qab.MaxAbsDelta = d
+		}
+		if d > qw.RowErrorBound(ds.X, i)*(1+1e-9)+1e-12 {
+			qab.BoundViolations++
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(qs-fs))
+		sum.Write(buf[:])
+	}
+	if ds.N() > 0 {
+		qab.MeanAbsDelta = totalDelta / float64(ds.N())
+	}
+	qab.DeltaChecksum = fmt.Sprintf("%016x", sum.Sum64())
+	if float.ThroughputRPS > 0 {
+		qab.Speedup = quant.ThroughputRPS / float.ThroughputRPS
+	}
+
+	rep := report{Server: inprocHealth(store, maxBatch, workers, true), Runs: []runReport{float, quant}}
+	rep.Quant = qab
+	return rep
+}
+
 // checkReport asserts the sanity the smoke gate relies on.
-func checkReport(rep *report, inproc bool, minSpeedup float64) error {
+func checkReport(rep *report, inproc bool, minSpeedup, expectSpeedup float64) error {
 	if len(rep.Runs) == 0 {
 		return fmt.Errorf("no runs measured")
 	}
@@ -487,6 +606,18 @@ func checkReport(rep *report, inproc bool, minSpeedup float64) error {
 	}
 	if minSpeedup > 0 && rep.Speedup < minSpeedup {
 		return fmt.Errorf("batched speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	if rep.Quant != nil && rep.Quant.BoundViolations > 0 {
+		return fmt.Errorf("%d quantised scores exceed the analytic error bound", rep.Quant.BoundViolations)
+	}
+	if expectSpeedup > 0 {
+		if rep.Quant == nil {
+			return fmt.Errorf("-expect-speedup needs the -quant-ab report")
+		}
+		if rep.Quant.Speedup < expectSpeedup {
+			return fmt.Errorf("quantised/float speedup %.2fx below required %.2fx",
+				rep.Quant.Speedup, expectSpeedup)
+		}
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,6 +122,71 @@ func TestRunInprocReportsSpeedupAndFingerprint(t *testing.T) {
 	if rep.Runs[0].AvgBatch <= rep.Runs[1].AvgBatch {
 		t.Fatalf("batched avg batch %.2f should exceed unbatched %.2f",
 			rep.Runs[0].AvgBatch, rep.Runs[1].AvgBatch)
+	}
+}
+
+// TestRunQuantABReport: the quantised-vs-float A/B produces two phases, a
+// populated accuracy probe with zero bound violations, and a deterministic
+// delta checksum (same seed + dataset => same quantiser output).
+func TestRunQuantABReport(t *testing.T) {
+	runOnce := func() report {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-quant-ab", "-duration", "150ms", "-conc", "8",
+			"-maxn", "300", "-out", "-", "-check", "-expect-speedup", "0.2",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+		}
+		var rep report
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Fatalf("stdout is not a JSON report: %v", err)
+		}
+		return rep
+	}
+	rep := runOnce()
+	if len(rep.Runs) != 2 || rep.Runs[0].Mode != "inproc-float" || rep.Runs[1].Mode != "inproc-quant" {
+		t.Fatalf("quant A/B phases = %+v", rep.Runs)
+	}
+	q := rep.Quant
+	if q == nil {
+		t.Fatal("report lacks the quant_ab section")
+	}
+	if q.Speedup <= 0 || q.ProbeRows != 300 {
+		t.Fatalf("quant_ab = %+v", q)
+	}
+	if q.BoundViolations != 0 {
+		t.Errorf("%d analytic bound violations", q.BoundViolations)
+	}
+	if q.MaxAbsDelta <= 0 || q.MaxAbsDelta < q.MeanAbsDelta {
+		t.Errorf("delta stats inconsistent: max %g, mean %g", q.MaxAbsDelta, q.MeanAbsDelta)
+	}
+	if len(q.DeltaChecksum) != 16 {
+		t.Errorf("delta checksum %q is not 16 hex digits", q.DeltaChecksum)
+	}
+	if !rep.Server.Quantized {
+		t.Error("server identity does not record the quantised mode")
+	}
+	if again := runOnce(); again.Quant.DeltaChecksum != q.DeltaChecksum {
+		t.Errorf("delta checksum not deterministic: %s vs %s",
+			again.Quant.DeltaChecksum, q.DeltaChecksum)
+	}
+}
+
+// TestRunQuantABExpectSpeedupFails: an unmeetable -expect-speedup must fail
+// the check and exit 1 — the CI assertion actually bites.
+func TestRunQuantABExpectSpeedupFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-quant-ab", "-duration", "100ms", "-conc", "4",
+		"-maxn", "200", "-out", "-", "-check", "-expect-speedup", "1000",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "below required") {
+		t.Errorf("stderr does not name the failed speedup gate:\n%s", stderr.String())
 	}
 }
 

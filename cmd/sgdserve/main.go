@@ -7,7 +7,7 @@
 //	         [-pretrain 5] [-train] [-epochs 0] [-threads 4] [-step 0.05]
 //	         [-publish-every 1] [-eval-every 0]
 //	         [-snapshot snap.json] [-save-snapshot snap.json]
-//	         [-max-batch 64] [-max-delay 2ms] [-queue 0] [-workers 0]
+//	         [-max-batch 64] [-max-delay 2ms] [-queue 0] [-workers 0] [-quantized]
 //	         [-chaos-plan storm] [-chaos-intensity 1] [-seed 1]
 //	         [-spans spans.jsonl] [-sample 1] [-slow 250ms]
 //	         [-slo "latency<=250ms@99,errors@99.9"] [-slo-fast 1m] [-slo-slow 0] [-burn 2]
@@ -21,6 +21,11 @@
 //   - Online (-train): a background Hogwild trainer keeps running, hot-
 //     swapping a fresh immutable snapshot into the serving path every
 //     -publish-every epochs while requests are in flight.
+//
+// -quantized switches batch scoring to the int8 quantised path (DESIGN §14):
+// every published snapshot carries an int8 twin of its weights and the linear
+// models score through it; the MLP's score is nonlinear in w, so it silently
+// keeps the float64 path (/healthz reports which is live).
 //
 // Endpoints: POST /predict, GET /healthz, /stats, /slo, /metrics (serving
 // stats plus the training aggregator's families). -debug-addr additionally
@@ -85,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxDelay     = fs.Duration("max-delay", 2*time.Millisecond, "deadline before a partial batch flushes")
 		queueDepth   = fs.Int("queue", 0, "admission queue bound (0 = 8x max-batch)")
 		workers      = fs.Int("workers", 0, "pool workers per batch dispatch (0 = pool size)")
+		quantized    = fs.Bool("quantized", false, "score through int8 quantised weights (lr/svm; mlp falls back to float64)")
 		chaosPlan    = fs.String("chaos-plan", "", "inject this named fault plan into the serving path")
 		intensity    = fs.Float64("chaos-intensity", 1, "fault plan intensity multiplier")
 		seed         = fs.Int64("seed", 1, "seed for init params, shuffles and fault streams")
@@ -226,9 +232,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	c := serve.NewCore(m, store, serve.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueDepth: *queueDepth,
 		Workers: *workers, Rec: rec, Plan: plan, ChaosSeed: *seed,
-		Tracer: tracer, SLO: slo,
+		Tracer: tracer, SLO: slo, Quantized: *quantized,
 	})
 	defer c.Close()
+	if *quantized && !c.Config().Quantized {
+		logf("model %s cannot score quantised; serving float64", *modelName)
+	}
 
 	stopTrainer := make(chan struct{})
 	trainerDone := make(chan struct{})
@@ -251,8 +260,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg := c.Config()
-	logf("listening on %s (max-batch %d, max-delay %s, queue %d, workers %d)",
-		boundAddr, cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.Workers)
+	scoringPath := "float64"
+	if cfg.Quantized {
+		scoringPath = "int8"
+	}
+	logf("listening on %s (max-batch %d, max-delay %s, queue %d, workers %d, scoring %s)",
+		boundAddr, cfg.MaxBatch, cfg.MaxDelay, cfg.QueueDepth, cfg.Workers, scoringPath)
 	if plan.Active() {
 		logf("fault plan active: %s", plan)
 	}

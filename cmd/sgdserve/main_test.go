@@ -157,6 +157,88 @@ func TestRunSpansAndSLOSmoke(t *testing.T) {
 	}
 }
 
+// TestRunQuantizedSmoke serves with -quantized and checks the int8 path is
+// live end to end: /healthz reports it, /predict answers, and the stats
+// report counts quantised batches.
+func TestRunQuantizedSmoke(t *testing.T) {
+	var stdout, stderr syncBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-maxn", "300", "-pretrain", "2",
+			"-serve-for", "2s", "-quantized", "-max-batch", "1",
+		}, &stdout, &stderr)
+	}()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never listened; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "scoring int8") {
+		t.Errorf("startup log does not announce the int8 path:\n%s", stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/predict", "application/json",
+		strings.NewReader(`{"indices":[0,2],"values":[1,-0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		Score   float64 `json:"score"`
+		Version int64   `json:"model_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || pred.Version < 1 {
+		t.Fatalf("predict: status %d, result %+v", resp.StatusCode, pred)
+	}
+
+	hResp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Quantized bool `json:"quantized"`
+	}
+	if err := json.NewDecoder(hResp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if !health.Quantized {
+		t.Error("/healthz does not report quantized scoring")
+	}
+
+	sResp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		QuantBatches int64 `json:"quant_batches"`
+	}
+	if err := json.NewDecoder(sResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sResp.Body.Close()
+	if stats.QuantBatches < 1 {
+		t.Errorf("/stats quant_batches = %d after a quantised predict", stats.QuantBatches)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-model", "tree"},

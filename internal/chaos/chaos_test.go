@@ -254,7 +254,7 @@ type captureRec struct {
 	counts map[obs.Counter]int64
 }
 
-func (r *captureRec) Phase(obs.Phase, float64)   {}
+func (r *captureRec) Phase(obs.Phase, float64)    {}
 func (r *captureRec) Observe(obs.Metric, float64) {}
 func (r *captureRec) EndEpoch(float64)            {}
 func (r *captureRec) Add(c obs.Counter, d int64) {

@@ -61,6 +61,11 @@ type HogbatchEngine struct {
 	// serialisation) — the quantity that actually decides that table.
 	// NewHogbatch sets these defaults per mode.
 	PerBatchOverhead float64
+	// Updater selects the write discipline the concurrent batch workers
+	// land the dense gradient with (nil = model.RawUpdater, the classic
+	// Hogwild-batch benign race). Set model.AtomicUpdater (or a counting
+	// variant) to measure lock-free batch application.
+	Updater model.Updater
 	// Rec receives phase timings (gradient = batch kernels, update = the
 	// Axpy model write, barrier = per-batch dispatch overhead), the batch
 	// count, and per-batch latency observations on the serialised paths.
@@ -86,6 +91,14 @@ type HogbatchEngine struct {
 	workerSec  []float64   // per-worker meter deltas of one epoch
 	pendingG   [][]float64 // emulated-pipeline in-flight gradients
 	freeG      [][]float64 // gradient freelist for the emulated pipeline
+}
+
+// updater resolves the write discipline (nil = raw stores).
+func (e *HogbatchEngine) updater() model.Updater {
+	if e.Updater != nil {
+		return e.Updater
+	}
+	return model.RawUpdater{}
 }
 
 // workerPool resolves the dispatch pool.
@@ -294,7 +307,7 @@ func (e *HogbatchEngine) runParallel(w []float64) float64 {
 			start := bk.Meter().Seconds()
 			g := e.workerG[p]
 			rows := e.workerRows[p][:0]
-			upd := model.RawUpdater{}
+			upd := e.updater()
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(batches) {
@@ -350,7 +363,7 @@ func (e *HogbatchEngine) runParallelChaos(w []float64) float64 {
 		start := bk.Meter().Seconds()
 		g := e.workerG[p]
 		rows := e.workerRows[p][:0]
-		upd := model.RawUpdater{}
+		upd := e.updater()
 		for {
 			k := int(next.Add(1)) - 1
 			if k >= len(batches) {
@@ -446,7 +459,7 @@ func (e *HogbatchEngine) runEmulatedParallel(w []float64, batches [][2]int) floa
 		e.rows = make([]int, 0, e.Batch)
 	}
 	rows := e.rows
-	upd := model.RawUpdater{}
+	upd := e.updater()
 	apply := func(g []float64) {
 		for j, gv := range g {
 			if gv != 0 {

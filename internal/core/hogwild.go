@@ -43,6 +43,16 @@ type HogwildEngine struct {
 	// Updater selects the write discipline: model.RawUpdater (classic
 	// Hogwild benign races) or model.AtomicUpdater (lock-free CAS adds).
 	Updater model.Updater
+	// StripeWindow, when > 0, turns on cache-line-striped micro-batching
+	// (DESIGN §14): each worker buffers this many component updates
+	// privately, then flushes them sorted by index with duplicates
+	// coalesced, applying through Updater in ascending (stripe-ordered)
+	// index order. Fewer issued shared-line stores means fewer CAS
+	// retries under the atomic disciplines; the cost is bounded staleness
+	// of at most one window. Zero (the default) preserves the classic
+	// per-update path exactly. The chaos and emulated paths ignore it —
+	// their update pipelines impose their own disciplines.
+	StripeWindow int
 	// Cost prices epochs; defaults to the paper machine.
 	Cost *numa.Model
 	// CostScale inflates the modeled update count and data volume to the
@@ -70,13 +80,16 @@ type HogwildEngine struct {
 	// scheduler, making the racy update order exactly replayable.
 	Chaos *chaos.Controller
 
-	rng         *rand.Rand
-	perm        []int
-	avgSupport  float64
-	epochCost   float64
-	gradCost    float64
-	updCost     float64
-	lastRetries int64
+	rng           *rand.Rand
+	perm          []int
+	avgSupport    float64
+	epochCost     float64
+	gradCost      float64
+	updCost       float64
+	lastRetries   int64
+	stripes       []*model.StripeBuffer // per-segment stripe buffers, reused
+	lastFlushes   int64
+	lastCoalesced int64
 
 	task      hogwildTask     // pre-bound concurrent-path task
 	bounds    []int           // nnz-balanced segment bounds over perm, reused
@@ -182,6 +195,34 @@ func (e *HogwildEngine) record(shares []float64) {
 		rec.Add(obs.CounterCASRetries, total-e.lastRetries)
 		e.lastRetries = total
 	}
+	if e.StripeWindow > 0 {
+		flushes, coalesced, _ := e.StripeCounters()
+		rec.Add(obs.CounterStripeFlushes, flushes-e.lastFlushes)
+		rec.Add(obs.CounterStripeCoalesced, coalesced-e.lastCoalesced)
+		e.lastFlushes, e.lastCoalesced = flushes, coalesced
+	}
+}
+
+// stripeBuf returns (building on first use) the stripe buffer of segment k.
+// Buffers wrap the engine's Updater at creation, so set Updater before the
+// first epoch when striping is on.
+func (e *HogwildEngine) stripeBuf(k int) *model.StripeBuffer {
+	for len(e.stripes) <= k {
+		e.stripes = append(e.stripes, model.NewStripeBuffer(e.Updater, e.Model.NumParams(), e.StripeWindow))
+	}
+	return e.stripes[k]
+}
+
+// StripeCounters returns the cumulative striping statistics summed over all
+// worker buffers: window flushes, updates coalesced away, and updates
+// actually issued through the base updater. Zero when striping is off.
+func (e *HogwildEngine) StripeCounters() (flushes, coalesced, applied int64) {
+	for _, sb := range e.stripes {
+		flushes += sb.Flushes()
+		coalesced += sb.Coalesced()
+		applied += sb.Applied()
+	}
+	return
 }
 
 // RunEpoch implements Engine: one pass over a fresh shuffle of the data.
@@ -207,8 +248,17 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 	}
 	if workers <= 1 {
 		scr := e.Model.NewScratch()
+		upd := e.Updater
+		var sb *model.StripeBuffer
+		if e.StripeWindow > 0 {
+			sb = e.stripeBuf(0)
+			upd = sb
+		}
 		for _, i := range e.perm {
-			e.Model.SGDStep(w, e.Data, i, e.Step, e.Updater, scr)
+			e.Model.SGDStep(w, e.Data, i, e.Step, upd, scr)
+		}
+		if sb != nil {
+			sb.Flush(w)
 		}
 		e.record([]float64{1})
 		return e.epochCost
@@ -227,6 +277,11 @@ func (e *HogwildEngine) RunEpoch(w []float64) float64 {
 	}
 	for len(e.scratches) < nseg {
 		e.scratches = append(e.scratches, e.Model.NewScratch())
+	}
+	if e.StripeWindow > 0 {
+		// Grow the buffer slice before dispatch; segments index it
+		// concurrently.
+		e.stripeBuf(nseg - 1)
 	}
 	e.task = hogwildTask{e: e, w: w}
 	e.workerPool().Run(nseg, nseg, &e.task)
@@ -319,8 +374,19 @@ func (t *hogwildTask) Run(lo, hi int) {
 	e := t.e
 	for k := lo; k < hi; k++ {
 		scr := e.scratches[k]
+		upd := e.Updater
+		var sb *model.StripeBuffer
+		if e.StripeWindow > 0 {
+			sb = e.stripes[k]
+			upd = sb
+		}
 		for _, i := range e.perm[e.bounds[k]:e.bounds[k+1]] {
-			e.Model.SGDStep(t.w, e.Data, i, e.Step, e.Updater, scr)
+			e.Model.SGDStep(t.w, e.Data, i, e.Step, upd, scr)
+		}
+		if sb != nil {
+			// No update outlives its segment: the residue lands before
+			// the epoch's pool barrier.
+			sb.Flush(t.w)
 		}
 	}
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+// Genuinely concurrent Hogwild over overlapping supports is racy by design
+// (that asynchrony is the paper's subject), so tests that want real
+// concurrency on shared components must skip under the detector and leave
+// the -race coverage to the disjoint-support variants.
+const raceDetectorEnabled = true

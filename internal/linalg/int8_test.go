@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// int8TestCase builds a random sparse matrix and weight vector.
+func int8TestCase(rows, cols, nnz int, seed int64) (*sparse.CSR, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		width := 1 + rng.Intn(nnz)
+		for k, j := 0, rng.Intn(cols); k < width && j < cols; k, j = k+1, j+1+rng.Intn(3) {
+			b.Add(i, j, rng.NormFloat64())
+		}
+	}
+	w := make([]float64, cols)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.2
+	}
+	return b.Build(), w
+}
+
+func TestInt8SpMVMatchesSerial(t *testing.T) {
+	a, w := int8TestCase(500, 700, 12, 21)
+	qw := model.Quantize(w)
+	want := make([]float64, a.NumRows)
+	for i := range want {
+		want[i] = qw.RowDot(a, i)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		k := NewInt8Kernel(workers)
+		got := make([]float64, a.NumRows)
+		k.SpMV(a, qw, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %g != serial %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInt8SpMVFloatMatchesDotUnrolled(t *testing.T) {
+	a, w := int8TestCase(300, 400, 10, 22)
+	want := make([]float64, a.NumRows)
+	for i := range want {
+		cols, vals := a.Row(i)
+		want[i] = DotUnrolled(cols, vals, w)
+	}
+	k := NewInt8Kernel(4)
+	got := make([]float64, a.NumRows)
+	k.SpMVFloat(a, w, got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %g != %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInt8SpMVWithinBound: the parallel quantised scores stay inside the
+// analytic error envelope of the float64 scores.
+func TestInt8SpMVWithinBound(t *testing.T) {
+	a, w := int8TestCase(400, 600, 15, 23)
+	qw := model.Quantize(w)
+	k := NewInt8Kernel(4)
+	yq := make([]float64, a.NumRows)
+	yf := make([]float64, a.NumRows)
+	k.SpMV(a, qw, yq)
+	k.SpMVFloat(a, w, yf)
+	for i := range yq {
+		d := math.Abs(yq[i] - yf[i])
+		if b := qw.RowErrorBound(a, i); d > b*(1+1e-9)+1e-12 {
+			t.Errorf("row %d: delta %g exceeds bound %g", i, d, b)
+		}
+	}
+}
+
+func TestDotUnrolledMatchesSimpleDot(t *testing.T) {
+	a, w := int8TestCase(100, 200, 8, 24)
+	for i := 0; i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		got := DotUnrolled(cols, vals, w)
+		var want float64
+		for k, c := range cols {
+			want += vals[k] * w[c]
+		}
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("row %d: unrolled %g vs simple %g", i, got, want)
+		}
+	}
+}
+
+func TestInt8KernelPrivatePool(t *testing.T) {
+	p := pool.New(2)
+	defer p.Close()
+	a, w := int8TestCase(200, 300, 10, 25)
+	qw := model.Quantize(w)
+	k := NewInt8Kernel(2)
+	k.SetPool(p)
+	got := make([]float64, a.NumRows)
+	k.SpMV(a, qw, got)
+	for i := range got {
+		if want := qw.RowDot(a, i); got[i] != want {
+			t.Fatalf("row %d: %g != %g on private pool", i, got[i], want)
+		}
+	}
+	k.SetPool(nil) // restores the default pool without panicking
+	k.SpMV(a, qw, got)
+}
+
+// TestInt8SpMVAllocFree pins the steady-state serving path: after the first
+// call sizes the partition buffer, SpMV and SpMVFloat allocate nothing.
+func TestInt8SpMVAllocFree(t *testing.T) {
+	a, w := int8TestCase(600, 800, 12, 26)
+	qw := model.Quantize(w)
+	k := NewInt8Kernel(4)
+	y := make([]float64, a.NumRows)
+	k.SpMV(a, qw, y)
+	k.SpMVFloat(a, w, y)
+	if allocs := testing.AllocsPerRun(20, func() { k.SpMV(a, qw, y) }); allocs != 0 {
+		t.Errorf("quantised SpMV allocates %v per op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { k.SpMVFloat(a, w, y) }); allocs != 0 {
+		t.Errorf("float SpMV allocates %v per op", allocs)
+	}
+}

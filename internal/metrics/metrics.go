@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/core"
 )
@@ -131,4 +132,46 @@ func AUCTime(curve []core.LossPoint) float64 {
 		auc += dt * (curve[i].Loss + curve[i-1].Loss) / 2
 	}
 	return auc
+}
+
+// ROCAUC computes the area under the ROC curve of real-valued scores
+// against ±1 labels via the rank statistic (Mann-Whitney U): the
+// probability that a random positive outscores a random negative, with
+// tied scores counted half. It is the classifier-quality number the
+// quantisation accuracy gate compares between the float64 and int8 scoring
+// paths — AUC is invariant to any monotone transform of the scores, so a
+// quantisation error only moves it by reordering examples across the
+// decision surface. Returns NaN when either class is absent.
+func ROCAUC(scores, labels []float64) float64 {
+	n := len(scores)
+	if n == 0 || len(labels) != n {
+		return math.NaN()
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	// Sum average ranks (1-based, ties averaged) over the positives.
+	var rankSumPos, nPos, nNeg float64
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && scores[order[hi]] == scores[order[lo]] {
+			hi++
+		}
+		avgRank := float64(lo+hi+1) / 2 // mean of ranks lo+1 .. hi
+		for k := lo; k < hi; k++ {
+			if labels[order[k]] > 0 {
+				rankSumPos += avgRank
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		lo = hi
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	return (rankSumPos - nPos*(nPos+1)/2) / (nPos * nNeg)
 }

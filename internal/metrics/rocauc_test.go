@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{-2, -1, 1, 2}
+	labels := []float64{-1, -1, 1, 1}
+	if auc := ROCAUC(scores, labels); auc != 1 {
+		t.Errorf("perfect ranking AUC = %v, want 1", auc)
+	}
+	inv := []float64{2, 1, -1, -2}
+	if auc := ROCAUC(inv, labels); auc != 0 {
+		t.Errorf("inverted ranking AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.NormFloat64()
+		labels[i] = float64(2*rng.Intn(2) - 1)
+	}
+	if auc := ROCAUC(scores, labels); math.Abs(auc-0.5) > 0.03 {
+		t.Errorf("independent scores AUC = %v, want ~0.5", auc)
+	}
+}
+
+// TestROCAUCTiesAveraged: all-equal scores rank every pair as a coin flip,
+// so tie-averaging must give exactly 0.5 — the failure mode a naive
+// strict-comparison implementation gets wrong.
+func TestROCAUCTiesAveraged(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	labels := []float64{1, -1, 1, -1}
+	if auc := ROCAUC(scores, labels); auc != 0.5 {
+		t.Errorf("all-tied AUC = %v, want exactly 0.5", auc)
+	}
+	// A tie block straddling the classes: positives {2, 1}, negatives {1, 0}.
+	// Pairs: (2>1)=1, (2>0)=1, (1=1)=0.5, (1>0)=1 => AUC 3.5/4.
+	scores = []float64{2, 1, 1, 0}
+	labels = []float64{1, -1, 1, -1}
+	if auc := ROCAUC(scores, labels); auc != 3.5/4 {
+		t.Errorf("straddling tie AUC = %v, want %v", auc, 3.5/4)
+	}
+}
+
+func TestROCAUCSingleClassNaN(t *testing.T) {
+	if auc := ROCAUC([]float64{1, 2, 3}, []float64{1, 1, 1}); !math.IsNaN(auc) {
+		t.Errorf("all-positive AUC = %v, want NaN", auc)
+	}
+	if auc := ROCAUC([]float64{1, 2, 3}, []float64{-1, -1, -1}); !math.IsNaN(auc) {
+		t.Errorf("all-negative AUC = %v, want NaN", auc)
+	}
+	if auc := ROCAUC(nil, nil); !math.IsNaN(auc) {
+		t.Errorf("empty AUC = %v, want NaN", auc)
+	}
+	if auc := ROCAUC([]float64{1}, []float64{1, -1}); !math.IsNaN(auc) {
+		t.Errorf("length-mismatch AUC = %v, want NaN", auc)
+	}
+}
+
+// TestROCAUCMonotoneInvariance: AUC is a rank statistic, so any strictly
+// increasing transform of the scores leaves it unchanged — the property that
+// makes the quantisation gate's AUC delta a pure ranking-damage measure.
+func TestROCAUCMonotoneInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.NormFloat64() * 2
+		if scores[i]+rng.NormFloat64() > 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	base := ROCAUC(scores, labels)
+	if math.IsNaN(base) || base <= 0.5 {
+		t.Fatalf("test setup: base AUC %v not informative", base)
+	}
+	transforms := map[string]func(float64) float64{
+		"affine":  func(x float64) float64 { return 3*x - 7 },
+		"sigmoid": func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		"cube":    func(x float64) float64 { return x * x * x },
+	}
+	tr := make([]float64, n)
+	for name, f := range transforms {
+		for i, s := range scores {
+			tr[i] = f(s)
+		}
+		if auc := ROCAUC(tr, labels); auc != base {
+			t.Errorf("%s transform changed AUC: %v != %v", name, auc, base)
+		}
+	}
+}

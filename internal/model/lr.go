@@ -26,8 +26,10 @@ func (m *LR) Name() string { return "lr" }
 func (m *LR) NumParams() int { return m.Dim }
 
 // InitParams implements Model: zero initialisation (the conventional LR
-// start, giving the same initial loss ln 2 everywhere).
-func (m *LR) InitParams(seed int64) []float64 { return make([]float64, m.Dim) }
+// start, giving the same initial loss ln 2 everywhere). The vector is
+// 64-byte aligned so the striped-Hogwild layout (stripe = cache line)
+// holds exactly; alignment never changes the values.
+func (m *LR) InitParams(seed int64) []float64 { return AlignedVec(m.Dim) }
 
 // NewScratch implements Model; LR needs no scratch.
 func (m *LR) NewScratch() Scratch { return nil }
@@ -68,6 +70,11 @@ func (m *LR) Score(w []float64, ds *data.Dataset, i int, _ Scratch) float64 {
 	return ds.X.RowDot(i, w)
 }
 
+// QuantScore implements QuantScorer: the margin against the int8 weights.
+func (m *LR) QuantScore(qw *QuantizedWeights, ds *data.Dataset, i int) float64 {
+	return qw.RowDot(ds.X, i)
+}
+
 // BatchGrad implements BatchModel with the ViennaCL-style primitive
 // sequence: margins = X*w (SpMV), per-example coefficients (element-wise
 // map), g = X^T*coef / n (SpMV-transpose + scal).
@@ -98,7 +105,8 @@ func (m *LR) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []flo
 }
 
 var (
-	_ Model      = (*LR)(nil)
-	_ BatchModel = (*LR)(nil)
-	_ Scorer     = (*LR)(nil)
+	_ Model       = (*LR)(nil)
+	_ BatchModel  = (*LR)(nil)
+	_ Scorer      = (*LR)(nil)
+	_ QuantScorer = (*LR)(nil)
 )

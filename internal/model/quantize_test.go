@@ -1,0 +1,193 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeRoundtripWithinHalfStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 63, 64, 65, 300, 1000} {
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+		}
+		qw := Quantize(w)
+		if qw.Dim != dim || len(qw.Q) != dim || len(qw.Scales) != (dim+QuantStripe-1)/QuantStripe {
+			t.Fatalf("dim %d: bad shapes %d/%d/%d", dim, qw.Dim, len(qw.Q), len(qw.Scales))
+		}
+		for i := range w {
+			sc := qw.Scales[i>>6]
+			if err := math.Abs(qw.At(i) - w[i]); err > sc/2*(1+1e-12) {
+				t.Errorf("dim %d comp %d: |%g - %g| = %g > scale/2 = %g",
+					dim, i, qw.At(i), w[i], err, sc/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeZeroStripeExact(t *testing.T) {
+	w := make([]float64, 128)
+	for i := 64; i < 128; i++ {
+		w[i] = float64(i)
+	}
+	qw := Quantize(w)
+	if qw.Scales[0] != 1 {
+		t.Errorf("all-zero stripe scale = %g, want 1", qw.Scales[0])
+	}
+	for i := 0; i < 64; i++ {
+		if qw.At(i) != 0 {
+			t.Errorf("zero weight %d dequantised to %g", i, qw.At(i))
+		}
+	}
+}
+
+func TestQuantizeExtremesHitFullRange(t *testing.T) {
+	w := make([]float64, 64)
+	w[0], w[1] = 3, -3
+	qw := Quantize(w)
+	if qw.Q[0] != 127 || qw.Q[1] != -127 {
+		t.Errorf("maxabs components coded %d/%d, want 127/-127", qw.Q[0], qw.Q[1])
+	}
+}
+
+func TestQuantRowDotMatchesDequantizedDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := testDataset(t, 40, 200, 0.1, 7)
+	w := make([]float64, 200)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	qw := Quantize(w)
+	dq := make([]float64, 200)
+	qw.Dequantize(dq)
+	for i := 0; i < ds.N(); i++ {
+		got := qw.RowDot(ds.X, i)
+		want := ds.X.RowDot(i, dq)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("row %d: RowDot %g != dequantised dot %g", i, got, want)
+		}
+		// And the analytic bound holds against the float64 dot.
+		ref := ds.X.RowDot(i, w)
+		if d, b := math.Abs(got-ref), qw.RowErrorBound(ds.X, i); d > b*(1+1e-9)+1e-12 {
+			t.Errorf("row %d: delta %g exceeds analytic bound %g", i, d, b)
+		}
+	}
+}
+
+func TestQuantScoreLinearModels(t *testing.T) {
+	ds := testDataset(t, 30, 150, 0.1, 8)
+	rng := rand.New(rand.NewSource(9))
+	w := make([]float64, 150)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.3
+	}
+	qw := Quantize(w)
+	for _, m := range []QuantScorer{NewLR(150), NewSVM(150)} {
+		scr := m.NewScratch()
+		for i := 0; i < ds.N(); i++ {
+			got := m.QuantScore(qw, ds, i)
+			ref := m.Score(w, ds, i, scr)
+			if d, b := math.Abs(got-ref), qw.RowErrorBound(ds.X, i); d > b*(1+1e-9)+1e-12 {
+				t.Errorf("%s row %d: quant score delta %g exceeds bound %g", m.Name(), i, d, b)
+			}
+		}
+	}
+}
+
+// TestQuantizedUpdaterNearestDropsUnderflow pins the round-to-nearest
+// failure mode the stochastic mode exists to fix: a delta below half a
+// quantisation step is dropped entirely.
+func TestQuantizedUpdaterNearestDropsUnderflow(t *testing.T) {
+	u := QuantizedUpdater{FracBits: 8} // grid step 1/256
+	w := make([]float64, 1)
+	u.Add(w, 0, 1.0/1024) // quarter of a step
+	if w[0] != 0 {
+		t.Errorf("sub-half-step delta not dropped: w[0] = %g", w[0])
+	}
+	u.Add(w, 0, 3.0/512) // 1.5 steps -> rounds to nearest even grid point
+	if want := math.Round(3.0/512*256) / 256; w[0] != want {
+		t.Errorf("w[0] = %g, want %g", w[0], want)
+	}
+}
+
+// TestStochasticRoundingUnbiased checks the Buckwild property: over many
+// draws, the mean applied update of a sub-step delta approaches the true
+// delta instead of zero.
+func TestStochasticRoundingUnbiased(t *testing.T) {
+	u := NewStochasticQuantized(8, 42)
+	const delta = 1.0 / 1024 // 0.25 quantisation steps
+	const n = 200000
+	w := make([]float64, 1)
+	for i := 0; i < n; i++ {
+		u.Add(w, 0, delta)
+	}
+	mean := w[0] / n
+	// Each applied update is 0 or 1/256 with P(step) = 0.25; the mean has
+	// stderr step*sqrt(p(1-p)/n) ~ 3.8e-6. 5 sigma.
+	if math.Abs(mean-delta) > 5*(1.0/256)*math.Sqrt(0.25*0.75/n) {
+		t.Errorf("stochastic mean %g too far from true delta %g", mean, delta)
+	}
+	// Round-to-nearest over the same stream applies exactly nothing.
+	rn := QuantizedUpdater{FracBits: 8}
+	w2 := make([]float64, 1)
+	for i := 0; i < 1000; i++ {
+		rn.Add(w2, 0, delta)
+	}
+	if w2[0] != 0 {
+		t.Errorf("round-to-nearest applied %g, want 0", w2[0])
+	}
+}
+
+func TestStochasticRounderDeterministic(t *testing.T) {
+	a := NewStochasticRounder(7)
+	b := NewStochasticRounder(7)
+	for i := 0; i < 100; i++ {
+		va, vb := a.uniform(), b.uniform()
+		if va != vb {
+			t.Fatalf("draw %d: %g != %g under the same seed", i, va, vb)
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("draw %d: %g outside [0,1)", i, va)
+		}
+	}
+	if c := NewStochasticRounder(8).uniform(); c == NewStochasticRounder(7).uniform() {
+		t.Error("different seeds produced an identical first draw")
+	}
+}
+
+// TestQuantizedUpdaterGridAlignment: every applied delta is an exact
+// multiple of the grid step, and exact-grid deltas pass through unchanged
+// under both modes.
+func TestQuantizedUpdaterGridAlignment(t *testing.T) {
+	for _, u := range []QuantizedUpdater{
+		{FracBits: 10},
+		NewStochasticQuantized(10, 3),
+	} {
+		w := make([]float64, 1)
+		u.Add(w, 0, 5.0/1024)
+		if w[0] != 5.0/1024 {
+			t.Errorf("exact grid delta perturbed: %g", w[0])
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			before := w[0]
+			u.Add(w, 0, rng.NormFloat64())
+			applied := w[0] - before
+			steps := applied * 1024
+			if math.Abs(steps-math.Round(steps)) > 1e-9 {
+				t.Fatalf("applied delta %g is not grid-aligned", applied)
+			}
+		}
+	}
+}
+
+func TestQuantizedUpdaterZeroFracBitsIsRaw(t *testing.T) {
+	u := QuantizedUpdater{}
+	w := make([]float64, 1)
+	u.Add(w, 0, 0.123456789)
+	if w[0] != 0.123456789 {
+		t.Errorf("FracBits<=0 should pass through exactly, got %g", w[0])
+	}
+}

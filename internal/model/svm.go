@@ -23,8 +23,9 @@ func (m *SVM) Name() string { return "svm" }
 // NumParams implements Model.
 func (m *SVM) NumParams() int { return m.Dim }
 
-// InitParams implements Model: zero initialisation (initial loss 1).
-func (m *SVM) InitParams(seed int64) []float64 { return make([]float64, m.Dim) }
+// InitParams implements Model: zero initialisation (initial loss 1). The
+// vector is 64-byte aligned for the striped-Hogwild cache-line layout.
+func (m *SVM) InitParams(seed int64) []float64 { return AlignedVec(m.Dim) }
 
 // NewScratch implements Model; SVM needs no scratch.
 func (m *SVM) NewScratch() Scratch { return nil }
@@ -69,6 +70,11 @@ func (m *SVM) Score(w []float64, ds *data.Dataset, i int, _ Scratch) float64 {
 	return ds.X.RowDot(i, w)
 }
 
+// QuantScore implements QuantScorer: the margin against the int8 weights.
+func (m *SVM) QuantScore(qw *QuantizedWeights, ds *data.Dataset, i int) float64 {
+	return qw.RowDot(ds.X, i)
+}
+
 // BatchGrad implements BatchModel: margins = X*w, hinge coefficients as an
 // element-wise kernel, g = X^T*coef / n.
 func (m *SVM) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []float64) float64 {
@@ -100,7 +106,8 @@ func (m *SVM) BatchGrad(b Ops, w []float64, ds *data.Dataset, rows []int, g []fl
 }
 
 var (
-	_ Model      = (*SVM)(nil)
-	_ BatchModel = (*SVM)(nil)
-	_ Scorer     = (*SVM)(nil)
+	_ Model       = (*SVM)(nil)
+	_ BatchModel  = (*SVM)(nil)
+	_ Scorer      = (*SVM)(nil)
+	_ QuantScorer = (*SVM)(nil)
 )

@@ -139,6 +139,16 @@ const (
 	// CounterServeSwaps counts model-snapshot hot-swaps published to the
 	// serving atomic-pointer store.
 	CounterServeSwaps
+	// CounterServeQuantBatches counts serving micro-batches scored through
+	// the int8 quantised path (vs the float64 path).
+	CounterServeQuantBatches
+	// CounterStripeFlushes counts striped-Hogwild micro-batch flushes
+	// (sort + coalesce + apply of one per-worker update window).
+	CounterStripeFlushes
+	// CounterStripeCoalesced counts updates the striped-Hogwild buffers
+	// merged into an earlier update of the same component — shared-line
+	// stores the unstriped path would have issued and this path did not.
+	CounterStripeCoalesced
 	numCounters
 )
 
@@ -183,6 +193,12 @@ func (c Counter) String() string {
 		return "serve_batches"
 	case CounterServeSwaps:
 		return "serve_swaps"
+	case CounterServeQuantBatches:
+		return "serve_quant_batches"
+	case CounterStripeFlushes:
+		return "stripe_flushes"
+	case CounterStripeCoalesced:
+		return "stripe_coalesced"
 	}
 	return "unknown"
 }

@@ -37,11 +37,15 @@ const (
 )
 
 // BenchRule gates one metric of the epochbench report, addressed by its
-// dotted JSON path.
+// dotted JSON path. FullSizeOnly marks thresholds that only hold at the
+// full problem size: scale-dependent effects (the int8 kernel's win is the
+// float path falling out of cache, which a -short run's small dimension
+// never provokes) are skipped on -short reports instead of failing them.
 type BenchRule struct {
-	Metric string        `json:"metric"`
-	Kind   BenchRuleKind `json:"kind"`
-	Value  float64       `json:"value"`
+	Metric       string        `json:"metric"`
+	Kind         BenchRuleKind `json:"kind"`
+	Value        float64       `json:"value"`
+	FullSizeOnly bool          `json:"full_size_only,omitempty"`
 }
 
 // DefaultBenchRules is the committed threshold table for BENCH_epoch.json.
@@ -56,10 +60,33 @@ func DefaultBenchRules() []BenchRule {
 		{Metric: "small_kernel_epoch.speedup", Kind: RuleMin, Value: 1.5},
 		{Metric: "spmv.skew_balanced", Kind: RuleMax, Value: 1.15},
 		{Metric: "spmvt.skew_balanced", Kind: RuleMax, Value: 1.15},
+		// The int8 quantised scoring kernel (PR 7). The committed baseline
+		// records ≥1.5× over the equally-unrolled float64 kernel at equal
+		// batch size; the gate floor is 1.3 to absorb machine-to-machine
+		// cache-hierarchy variance without ever letting the win evaporate.
+		// The win is a cache-residency effect, so the floor binds only at
+		// full size: a -short run's small model keeps the float weights in
+		// cache too and measures ~1.1x. bound_violations is exact and
+		// machine-independent: no row's quantised score may leave its
+		// analytic error envelope at any size.
+		{Metric: "quant_score.speedup", Kind: RuleMin, Value: 1.3, FullSizeOnly: true},
+		{Metric: "quant_score.bound_violations", Kind: RuleExact, Value: 0},
+		{Metric: "steady_state_allocs_per_op.quant_spmv", Kind: RuleExact, Value: 0},
+		// Striped Hogwild (PR 7): the coalesced fraction is a function of
+		// the dataset's hot columns and the window size only — measured
+		// identically on any host. The wall-time ratio is bounded rather
+		// than pinned at 1: on a host without real core-level contention
+		// the buffering is pure overhead (measured ~1.2x single-core), and
+		// the gate asserts that overhead stays bounded while the issued-
+		// store reduction — the contention win — stays deterministic.
+		{Metric: "striped_hogwild.coalesced_frac", Kind: RuleMin, Value: 0.05},
+		{Metric: "striped_hogwild.ns_op_ratio", Kind: RuleMax, Value: 1.4},
+		{Metric: "steady_state_allocs_per_op.striped_epoch", Kind: RuleExact, Value: 0},
 		// Wall-clock regressions, ratio vs baseline on comparable runs.
 		{Metric: "small_kernel_epoch.pool_ns_op", Kind: RuleRatio, Value: 2.0},
 		{Metric: "spmv.balanced_ns_op", Kind: RuleRatio, Value: 2.0},
 		{Metric: "spmvt.balanced_ns_op", Kind: RuleRatio, Value: 2.0},
+		{Metric: "quant_score.quant_ns_op", Kind: RuleRatio, Value: 2.0},
 		{Metric: "builder_build_ns_op", Kind: RuleRatio, Value: 2.0},
 	}
 }
@@ -115,6 +142,12 @@ func CompareBench(baseline, fresh []byte, rules []BenchRule) (BenchReport, error
 			continue
 		}
 		c.New = nv
+		if r.FullSizeOnly && fmt.Sprint(cur["short"]) == "true" {
+			c.Status = benchSkipped
+			c.Detail = "scale-dependent threshold, skipped on -short runs"
+			rep.Checks = append(rep.Checks, c)
+			continue
+		}
 		switch r.Kind {
 		case RuleExact:
 			if nv == r.Value {

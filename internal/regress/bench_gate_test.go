@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
@@ -13,7 +14,12 @@ func benchJSON(short bool, poolAllocs int, speedup, skew float64, poolNs int) []
 			"speedup": %g, "pool_allocs_op": %d, "spawn_allocs_op": 2560},
 		"spmv": {"balanced_ns_op": 1300000, "even_ns_op": 1260000, "skew_balanced": %g, "skew_even": 1.07},
 		"spmvt": {"balanced_ns_op": 1280000, "even_ns_op": 1160000, "skew_balanced": %g, "skew_even": 1.07},
-		"steady_state_allocs_per_op": {"lr_batchgrad": 0, "svm_batchgrad": 0, "spmvt": 0},
+		"quant_score": {"float_ns_op": 1200000, "quant_ns_op": 790000, "speedup": 1.52,
+			"max_abs_delta": 0.03, "bound_violations": 0},
+		"striped_hogwild": {"unstriped_ns_op": 500000, "striped_ns_op": 610000, "ns_op_ratio": 1.22,
+			"coalesced_frac": 0.38, "cas_retry_ratio": 0},
+		"steady_state_allocs_per_op": {"lr_batchgrad": 0, "svm_batchgrad": 0, "spmvt": 0,
+			"quant_spmv": 0, "striped_epoch": 0},
 		"builder_build_ns_op": 9000000
 	}`, short, poolNs, speedup, poolAllocs, skew, skew)
 }
@@ -95,6 +101,36 @@ func TestBenchCompareIncomparableSkipsRatios(t *testing.T) {
 	}
 	if rep.Pass {
 		t.Fatalf("speedup collapse must fail even on incomparable runs: %+v", rep)
+	}
+}
+
+func TestBenchCompareShortRunSkipsScaleDependentFloors(t *testing.T) {
+	// The int8 speedup floor is a cache-residency effect that a -short
+	// run's small dimension cannot provoke: on a short fresh report the
+	// quant_score.speedup floor is skipped, not failed — while the same
+	// collapsed value on a full-size run is a hard failure.
+	collapsed := func(short bool) []byte {
+		return bytes.Replace(benchJSON(short, 0, 6.2, 1.01, 67000),
+			[]byte(`"speedup": 1.52`), []byte(`"speedup": 1.12`), 1)
+	}
+	rep, err := CompareBench(healthy(false), collapsed(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("short run failed a scale-dependent floor: %+v", rep)
+	}
+	for _, c := range rep.Checks {
+		if c.Metric == "quant_score.speedup" && c.Status != benchSkipped {
+			t.Fatalf("quant speedup floor not skipped on short run: %+v", c)
+		}
+	}
+	rep, err = CompareBench(healthy(false), collapsed(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("full-size quant speedup collapse passed: %+v", rep)
 	}
 }
 

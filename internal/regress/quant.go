@@ -1,0 +1,115 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Quantisation accuracy gate (DESIGN §14): before the serving tier is
+// allowed to score through the int8 path, the quantised scores of a trained
+// model must stay within a bounded delta of the float64 scores — both
+// pointwise (max absolute score delta, additionally checked against the
+// analytic per-row error bound scale/2·Σ|x|) and in ranking quality (ROC
+// AUC delta). CI runs this over freshly trained models in
+// internal/regress's tests; cmd/sgdload embeds the same deltas in its
+// quantised-vs-float serving report.
+
+// QuantThresholds bounds the acceptable float→int8 scoring degradation.
+type QuantThresholds struct {
+	// MaxAbsDelta caps the per-example |quant − float| score delta. When
+	// <= 0 the gate derives the cap from theory: the largest analytic
+	// per-row error bound of the evaluated dataset.
+	MaxAbsDelta float64
+	// MaxAUCDelta caps |AUC(float) − AUC(quant)|; <= 0 means the 0.005
+	// default (half a point of AUC).
+	MaxAUCDelta float64
+}
+
+// DefaultQuantThresholds is the committed gate: deltas within the analytic
+// envelope, AUC within half a point.
+func DefaultQuantThresholds() QuantThresholds {
+	return QuantThresholds{MaxAbsDelta: 0, MaxAUCDelta: 0.005}
+}
+
+// QuantCheck is the gate's machine-readable outcome.
+type QuantCheck struct {
+	Model           string  `json:"model"`
+	Dataset         string  `json:"dataset"`
+	N               int     `json:"n"`
+	MaxAbsDelta     float64 `json:"max_abs_delta"`
+	MeanAbsDelta    float64 `json:"mean_abs_delta"`
+	DeltaLimit      float64 `json:"delta_limit"`
+	BoundViolations int     `json:"bound_violations"`
+	AUCFloat        float64 `json:"auc_float"`
+	AUCQuant        float64 `json:"auc_quant"`
+	AUCDelta        float64 `json:"auc_delta"`
+	AUCLimit        float64 `json:"auc_limit"`
+	Pass            bool    `json:"pass"`
+	Detail          string  `json:"detail,omitempty"`
+}
+
+// QuantGate scores every example of ds under w through both paths and
+// checks the thresholds. The model must support quantised scoring (the
+// linear models); w is quantised here exactly as the serving store does it.
+func QuantGate(m model.QuantScorer, w []float64, ds *data.Dataset, th QuantThresholds) QuantCheck {
+	if th.MaxAUCDelta <= 0 {
+		th.MaxAUCDelta = 0.005
+	}
+	qw := model.Quantize(w)
+	n := ds.N()
+	chk := QuantCheck{Model: m.Name(), Dataset: ds.Name, N: n, AUCLimit: th.MaxAUCDelta}
+	scr := m.NewScratch()
+	fs := make([]float64, n)
+	qs := make([]float64, n)
+	var sumDelta, maxBound float64
+	for i := 0; i < n; i++ {
+		fs[i] = m.Score(w, ds, i, scr)
+		qs[i] = m.QuantScore(qw, ds, i)
+		d := math.Abs(qs[i] - fs[i])
+		sumDelta += d
+		if d > chk.MaxAbsDelta {
+			chk.MaxAbsDelta = d
+		}
+		bound := qw.RowErrorBound(ds.X, i)
+		if bound > maxBound {
+			maxBound = bound
+		}
+		// A hair of slack over the analytic bound: the two kernels
+		// reassociate their sums differently, so the comparison itself
+		// carries rounding noise of order 1e-12 on unit-scale data.
+		if d > bound*(1+1e-9)+1e-12 {
+			chk.BoundViolations++
+		}
+	}
+	if n > 0 {
+		chk.MeanAbsDelta = sumDelta / float64(n)
+	}
+	chk.DeltaLimit = th.MaxAbsDelta
+	if chk.DeltaLimit <= 0 {
+		chk.DeltaLimit = maxBound
+	}
+	chk.AUCFloat = metrics.ROCAUC(fs, ds.Y)
+	chk.AUCQuant = metrics.ROCAUC(qs, ds.Y)
+	chk.AUCDelta = math.Abs(chk.AUCFloat - chk.AUCQuant)
+
+	chk.Pass = true
+	switch {
+	case chk.BoundViolations > 0:
+		chk.Pass = false
+		chk.Detail = fmt.Sprintf("%d rows exceed the analytic quantisation error bound", chk.BoundViolations)
+	case chk.MaxAbsDelta > chk.DeltaLimit:
+		chk.Pass = false
+		chk.Detail = fmt.Sprintf("max score delta %.3g > limit %.3g", chk.MaxAbsDelta, chk.DeltaLimit)
+	case math.IsNaN(chk.AUCDelta):
+		chk.Pass = false
+		chk.Detail = "AUC undefined (single-class dataset?)"
+	case chk.AUCDelta > th.MaxAUCDelta:
+		chk.Pass = false
+		chk.Detail = fmt.Sprintf("AUC delta %.4g > limit %.4g", chk.AUCDelta, th.MaxAUCDelta)
+	}
+	return chk
+}

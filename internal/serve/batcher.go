@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/span"
 	"repro/internal/sparse"
@@ -186,6 +187,7 @@ func (a *batchArena) assemble(batch []*request, dim int) {
 type scoreTask struct {
 	c       *Core
 	w       []float64
+	qw      *model.QuantizedWeights // non-nil: score through the int8 path
 	ds      *data.Dataset
 	batch   []*request
 	scores  []float64
@@ -193,6 +195,15 @@ type scoreTask struct {
 }
 
 func (t *scoreTask) Run(lo, hi int) {
+	if t.qw != nil {
+		// The int8 kernel: per-row quantised dots over the batch CSR —
+		// the same inner loop linalg.Int8Kernel dispatches, here chunked
+		// by the batcher's RunGrain policy so tiny batches stay inline.
+		for i := lo; i < hi; i++ {
+			t.scores[i] = t.c.quant.QuantScore(t.qw, t.ds, i)
+		}
+		return
+	}
 	scr := t.c.scratch.Get()
 	for i := lo; i < hi; i++ {
 		t.scores[i] = t.c.scorer.Score(t.w, t.ds, i, scr)
@@ -279,8 +290,16 @@ func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, score
 			break
 		}
 	}
+	var qw *model.QuantizedWeights
+	if c.quant != nil {
+		// Both representations ride the one snapshot pointer, so the
+		// quantised weights are always the float weights' exact twin; a
+		// snapshot published before quantised mode (nil Quant) falls back
+		// to the float64 path rather than serving stale codes.
+		qw = sn.Quant
+	}
 	start := time.Now()
-	*task = scoreTask{c: c, w: sn.Weights, ds: &arena.ds, batch: batch, scores: scores[:n], carrier: carrier}
+	*task = scoreTask{c: c, w: sn.Weights, qw: qw, ds: &arena.ds, batch: batch, scores: scores[:n], carrier: carrier}
 	c.cfg.Pool.RunGrain(c.cfg.Workers, n, c.cfg.Grain, task)
 	compute := time.Since(start)
 	computeEnd := time.Now()
@@ -346,6 +365,10 @@ func (c *Core) flush(batch []*request, arena *batchArena, task *scoreTask, score
 	c.rec.Phase(obs.PhaseGradient, compute.Seconds())
 	c.rec.Add(obs.CounterServeRequests, int64(n))
 	c.rec.Add(obs.CounterServeBatches, 1)
+	if qw != nil {
+		c.stats.quantBatches.Add(1)
+		c.rec.Add(obs.CounterServeQuantBatches, 1)
+	}
 	if sn.Version > lastVer {
 		c.rec.Add(obs.CounterServeSwaps, sn.Version-lastVer)
 	}

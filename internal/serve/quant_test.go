@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// quantScoreOf computes the expected int8-path score of one sparse request
+// against a weight vector, mirroring QuantizedWeights.RowDot term for term
+// (two-way unrolled, val·scale·code order) so the comparison is bitwise.
+func quantScoreOf(w []float64, cols []int32, vals []float64) float64 {
+	qw := model.Quantize(w)
+	var s0, s1 float64
+	k := 0
+	for ; k+2 <= len(cols); k += 2 {
+		c0, c1 := cols[k], cols[k+1]
+		s0 += vals[k] * qw.Scales[c0>>6] * float64(qw.Q[c0])
+		s1 += vals[k+1] * qw.Scales[c1>>6] * float64(qw.Q[c1])
+	}
+	if k < len(cols) {
+		c := cols[k]
+		s0 += vals[k] * qw.Scales[c>>6] * float64(qw.Q[c])
+	}
+	return s0 + s1
+}
+
+// TestQuantizedPredictMatchesInt8Path: a quantised core scores exactly through
+// the int8 representation (bitwise equal to the dequantised dot), and the
+// delta from the float64 score stays inside the analytic per-row bound.
+func TestQuantizedPredictMatchesInt8Path(t *testing.T) {
+	const dim = 256
+	rng := rand.New(rand.NewSource(31))
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.4
+	}
+	store := NewStore()
+	c := NewCore(model.NewLR(dim), store, Config{MaxBatch: 1, Quantized: true})
+	defer c.Close()
+	if !c.Config().Quantized {
+		t.Fatal("LR core did not enable the quantised path")
+	}
+	store.Publish(&Snapshot{Model: "lr", Dim: dim, Weights: w})
+	sn := store.Load()
+	if sn.Quant == nil {
+		t.Fatal("publish through a quantised store attached no int8 twin")
+	}
+
+	qw := sn.Quant
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		cols := make([]int32, 0, n)
+		vals := make([]float64, 0, n)
+		seen := map[int32]bool{}
+		for len(cols) < n {
+			cj := int32(rng.Intn(dim))
+			if seen[cj] {
+				continue
+			}
+			seen[cj] = true
+			cols = append(cols, cj)
+			vals = append(vals, rng.NormFloat64())
+		}
+		res, err := c.Predict(cols, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := quantScoreOf(w, cols, vals); res.Score != want {
+			t.Fatalf("trial %d: quantised score %g != int8 dot %g", trial, res.Score, want)
+		}
+		var ref, bound float64
+		for k, cj := range cols {
+			ref += vals[k] * w[cj]
+			bound += math.Abs(vals[k]) * qw.Scales[int(cj)>>6] / 2
+		}
+		if d := math.Abs(res.Score - ref); d > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: quantised delta %g exceeds analytic bound %g", trial, d, bound)
+		}
+	}
+	if qb := c.Stats().Snapshot().QuantBatches; qb == 0 {
+		t.Error("quant_batches counter stayed zero after quantised predictions")
+	}
+}
+
+// TestQuantizedCoreRepublishesExistingSnapshot: building a quantised core on
+// a store that already holds a float-only snapshot (offline serving) installs
+// a quantised copy under a fresh version instead of serving without codes.
+func TestQuantizedCoreRepublishesExistingSnapshot(t *testing.T) {
+	w := []float64{1, -2, 0.5, 4}
+	store := lrStore(w) // version 1, no Quant: published before quantised mode
+	c := NewCore(model.NewLR(4), store, Config{MaxBatch: 1, Quantized: true})
+	defer c.Close()
+
+	sn := store.Load()
+	if sn.Quant == nil {
+		t.Fatal("pre-existing snapshot was not requantised")
+	}
+	if sn.Version != 2 {
+		t.Fatalf("requantised snapshot version = %d, want 2 (republish, not mutation)", sn.Version)
+	}
+	for i := range w {
+		if sn.Weights[i] != w[i] {
+			t.Fatalf("republish changed float weights at %d: %g != %g", i, sn.Weights[i], w[i])
+		}
+	}
+	res, err := c.Predict([]int32{0, 2}, []float64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := quantScoreOf(w, []int32{0, 2}, []float64{3, 2}); res.Score != want {
+		t.Fatalf("score %g != expected quantised score %g", res.Score, want)
+	}
+}
+
+// TestQuantizedFallbackNonQuantScorer: the MLP's score is nonlinear in w, so
+// it cannot serve int8 weight codes — the core silently keeps the float path
+// and reports Quantized=false rather than failing.
+func TestQuantizedFallbackNonQuantScorer(t *testing.T) {
+	m := model.NewMLP([]int{4, 3, 2})
+	w := m.InitParams(3)
+	store := NewStore()
+	store.Publish(&Snapshot{Model: "mlp", Dim: 4, Weights: w})
+	c := NewCore(m, store, Config{MaxBatch: 1, Quantized: true})
+	defer c.Close()
+
+	if c.Config().Quantized {
+		t.Fatal("MLP core reports Quantized=true; its score is nonlinear in w")
+	}
+	if store.Load().Quant != nil {
+		t.Fatal("store attached int8 codes for a model that cannot use them")
+	}
+	res, err := c.Predict([]int32{0, 2}, []float64{1, -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Score) {
+		t.Fatal("float fallback produced NaN")
+	}
+	if qb := c.Stats().Snapshot().QuantBatches; qb != 0 {
+		t.Fatalf("quant_batches = %d on the float fallback path, want 0", qb)
+	}
+}
+
+// TestQuantizedPrePublishSnapshotFallsBackToFloat: a snapshot that reaches a
+// quantised core without int8 codes (published straight to the store after
+// SetQuantize was flipped off again, or loaded from disk) is served through
+// the float path for that version — never stale codes from another version.
+func TestQuantizedPrePublishSnapshotFallsBackToFloat(t *testing.T) {
+	const dim = 64
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = float64(i%7) - 3
+	}
+	store := NewStore()
+	c := NewCore(model.NewLR(dim), store, Config{MaxBatch: 1, Quantized: true})
+	defer c.Close()
+
+	// Sneak a float-only snapshot past the store's quantise hook.
+	store.SetQuantize(false)
+	store.Publish(&Snapshot{Model: "lr", Dim: dim, Weights: w})
+	if store.Load().Quant != nil {
+		t.Fatal("test setup: snapshot unexpectedly carries codes")
+	}
+	res, err := c.Predict([]int32{1, 5}, []float64{2, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*w[1] - w[5]; res.Score != want {
+		t.Fatalf("float fallback score %g, want exact float dot %g", res.Score, want)
+	}
+}
+
+// TestQuantizedHotSwapNoVersionSkew hammers a quantised core with publishes
+// under concurrent predictions (run under -race this is the satellite's
+// concurrent quantised hot-swap check). Both representations ride one
+// snapshot pointer, so every served score must equal the quantised dot of
+// the exact version the result reports — a score computed from version v's
+// codes but stamped with version v' would be skew.
+func TestQuantizedHotSwapNoVersionSkew(t *testing.T) {
+	const (
+		dim       = 64
+		readers   = 8
+		publishes = 150
+	)
+	store := NewStore()
+	c := NewCore(model.NewLR(dim), store, Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond, Quantized: true})
+	defer c.Close()
+
+	cols := make([]int32, dim)
+	vals := make([]float64, dim)
+	for i := range cols {
+		cols[i], vals[i] = int32(i), 1
+	}
+
+	// Version v publishes uniform weights w_i = v + 0.5; precompute each
+	// version's expected quantised score over the ones-vector probe so the
+	// readers can verify score-version consistency exactly.
+	expected := make([]float64, publishes+1)
+	publish := func(v int64) {
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = float64(v) + 0.5
+		}
+		expected[v] = quantScoreOf(w, cols, vals)
+		if got := store.Publish(&Snapshot{Model: "lr", Dim: dim, Weights: w}); got != v {
+			t.Fatalf("publish got version %d, want %d", got, v)
+		}
+	}
+	publish(1)
+
+	var stopReaders atomic.Bool
+	var checked atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastVer := int64(0)
+			for !stopReaders.Load() {
+				res, err := c.Predict(cols, vals)
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				if res.Version < 1 || res.Version > publishes {
+					t.Errorf("impossible version %d", res.Version)
+					return
+				}
+				if res.Score != expected[res.Version] {
+					t.Errorf("version skew: score %g at version %d, want %g (codes from another version)",
+						res.Score, res.Version, expected[res.Version])
+					return
+				}
+				if res.Version < lastVer {
+					t.Errorf("version regressed: %d after %d", res.Version, lastVer)
+					return
+				}
+				lastVer = res.Version
+				checked.Add(1)
+			}
+		}()
+	}
+	for v := int64(2); v <= publishes; v++ {
+		publish(v)
+		time.Sleep(50 * time.Microsecond)
+	}
+	stopReaders.Store(true)
+	wg.Wait()
+	if checked.Load() == 0 {
+		t.Fatal("no predictions completed; the hammer did not exercise the swap path")
+	}
+	if qb := c.Stats().Snapshot().QuantBatches; qb == 0 {
+		t.Error("no batch scored through the quantised path during the hammer")
+	}
+	t.Logf("checked %d quantised predictions across %d publishes, 0 skewed", checked.Load(), publishes)
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// at /slo and in /metrics. Client errors (ErrBadFeatures) are not
 	// recorded: they spend no server budget.
 	SLO *span.SLO
+	// Quantized scores batches through the int8 quantised weights (DESIGN
+	// §14) when the served model supports it (model.QuantScorer — the
+	// linear models do, the MLP does not; unsupported models silently keep
+	// the float64 path and Config() reports Quantized=false). The store is
+	// switched to attach the int8 representation at every publish.
+	Quantized bool
 }
 
 // withDefaults returns cfg with every unset knob at its default.
@@ -143,6 +149,7 @@ type Core struct {
 	cfg    Config
 	store  *Store
 	scorer model.Scorer
+	quant  model.QuantScorer // non-nil iff cfg.Quantized
 	stats  *Stats
 	rec    obs.Recorder
 	faults *faults
@@ -163,7 +170,26 @@ type Core struct {
 // ErrNoModel. The returned core's dispatcher goroutine runs until Close.
 func NewCore(scorer model.Scorer, store *Store, cfg Config) *Core {
 	cfg = cfg.withDefaults()
+	var quant model.QuantScorer
+	if cfg.Quantized {
+		if qs, ok := scorer.(model.QuantScorer); ok {
+			quant = qs
+			store.SetQuantize(true)
+			// A snapshot published before quantised mode was switched on
+			// (offline serving) carries no int8 twin, and snapshots are
+			// immutable — so republish a quantised copy under the next
+			// version instead of mutating it in place.
+			if sn := store.Load(); sn != nil && sn.Quant == nil && len(sn.Weights) > 0 {
+				requant := *sn
+				requant.PublishedUnixNano = 0
+				store.Publish(&requant)
+			}
+		} else {
+			cfg.Quantized = false // e.g. MLP: score is nonlinear in w
+		}
+	}
 	c := &Core{
+		quant:  quant,
 		cfg:    cfg,
 		store:  store,
 		scorer: scorer,

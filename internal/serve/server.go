@@ -198,6 +198,9 @@ type Health struct {
 	QueueDepth     int     `json:"queue_depth"`
 	Workers        int     `json:"workers"`
 	ChaosPlan      string  `json:"chaos_plan,omitempty"`
+	// Quantized reports whether batches score through the int8 quantised
+	// path (false when the served model cannot, e.g. MLP).
+	Quantized bool `json:"quantized,omitempty"`
 }
 
 // health builds the current Health payload.
@@ -209,6 +212,7 @@ func (s *Server) health() Health {
 		MaxDelayMicros: cfg.MaxDelay.Microseconds(),
 		QueueDepth:     cfg.QueueDepth,
 		Workers:        cfg.Workers,
+		Quantized:      cfg.Quantized,
 	}
 	if cfg.Plan.Active() {
 		h.ChaosPlan = cfg.Plan.String()

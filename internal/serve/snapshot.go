@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/model"
 )
 
 // Snapshot is one immutable published model: a private copy of the weights
@@ -35,6 +36,12 @@ type Snapshot struct {
 	Fingerprint core.Fingerprint `json:"fingerprint"`
 	// PublishedUnixNano is the host wall-clock publish instant.
 	PublishedUnixNano int64 `json:"published_unix_nano,omitempty"`
+	// Quant is the int8 quantised twin of Weights (DESIGN §14), attached
+	// at publish time when the store is in quantised mode, so both
+	// representations hot-swap together under the one atomic pointer and
+	// the batcher never sees a version skew between them. It is derived
+	// state, excluded from the JSON snapshot format and rebuilt on load.
+	Quant *model.QuantizedWeights `json:"-"`
 }
 
 // Store is the lock-free snapshot hot-swap point: writers Publish immutable
@@ -44,9 +51,10 @@ type Snapshot struct {
 // during training, serving gets full consistency for free because the unit
 // of publication is an immutable pointer, not a vector element.
 type Store struct {
-	cur   atomic.Pointer[Snapshot]
-	ver   atomic.Int64
-	swaps atomic.Int64
+	cur      atomic.Pointer[Snapshot]
+	ver      atomic.Int64
+	swaps    atomic.Int64
+	quantize atomic.Bool
 }
 
 // NewStore returns an empty store (Load returns nil until a Publish).
@@ -66,16 +74,27 @@ func (s *Store) Publish(sn *Snapshot) int64 {
 	if sn.PublishedUnixNano == 0 {
 		sn.PublishedUnixNano = time.Now().UnixNano()
 	}
+	if s.quantize.Load() && sn.Quant == nil && len(sn.Weights) > 0 {
+		sn.Quant = model.Quantize(sn.Weights)
+	}
 	s.cur.Store(sn)
 	s.swaps.Add(1)
 	return sn.Version
 }
+
+// SetQuantize makes every future Publish attach the int8 representation to
+// the snapshot before installing it (NewCore enables this when the serving
+// core is configured Quantized). Publishing is O(dim) either way — the
+// quantisation pass adds one more linear sweep per publish, off the request
+// path.
+func (s *Store) SetQuantize(on bool) { s.quantize.Store(on) }
 
 // PublishWeights publishes a fresh snapshot copying w, for publishers (the
 // online Trainer) that continue updating w after the call. meta's Version
 // and PublishedUnixNano are overwritten; its Weights are ignored.
 func (s *Store) PublishWeights(w []float64, meta Snapshot) int64 {
 	meta.Weights = append([]float64(nil), w...)
+	meta.Quant = nil // derived from the fresh copy, never inherited
 	meta.PublishedUnixNano = 0
 	return s.Publish(&meta)
 }

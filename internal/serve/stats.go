@@ -127,10 +127,11 @@ func (f *atomicFloat) Max(v float64) {
 type Stats struct {
 	store *Store
 
-	requests atomic.Int64 // admitted
-	rejected atomic.Int64 // ErrOverloaded at admission
-	dropped  atomic.Int64 // chaos-injected drops
-	batches  atomic.Int64 // dispatched micro-batches
+	requests     atomic.Int64 // admitted
+	rejected     atomic.Int64 // ErrOverloaded at admission
+	dropped      atomic.Int64 // chaos-injected drops
+	batches      atomic.Int64 // dispatched micro-batches
+	quantBatches atomic.Int64 // micro-batches scored through the int8 path
 
 	latency   *hist // end-to-end seconds (queue wait + compute)
 	batchSize *hist // requests per dispatched batch
@@ -151,6 +152,7 @@ type Report struct {
 	Rejected     int64   `json:"rejected"`
 	Dropped      int64   `json:"dropped,omitempty"`
 	Batches      int64   `json:"batches"`
+	QuantBatches int64   `json:"quant_batches,omitempty"`
 	Swaps        int64   `json:"swaps"`
 	ModelVersion int64   `json:"model_version"`
 	AvgBatch     float64 `json:"avg_batch"`
@@ -166,17 +168,18 @@ type Report struct {
 // Snapshot returns the current aggregate.
 func (s *Stats) Snapshot() Report {
 	r := Report{
-		Requests:    s.requests.Load(),
-		Rejected:    s.rejected.Load(),
-		Dropped:     s.dropped.Load(),
-		Batches:     s.batches.Load(),
-		AvgBatch:    s.batchSize.Mean(),
-		MaxBatch:    s.batchSize.max.Load(),
-		LatencyP50:  s.latency.Quantile(0.50),
-		LatencyP90:  s.latency.Quantile(0.90),
-		LatencyP99:  s.latency.Quantile(0.99),
-		LatencyMax:  s.latency.max.Load(),
-		LatencyMean: s.latency.Mean(),
+		Requests:     s.requests.Load(),
+		Rejected:     s.rejected.Load(),
+		Dropped:      s.dropped.Load(),
+		Batches:      s.batches.Load(),
+		QuantBatches: s.quantBatches.Load(),
+		AvgBatch:     s.batchSize.Mean(),
+		MaxBatch:     s.batchSize.max.Load(),
+		LatencyP50:   s.latency.Quantile(0.50),
+		LatencyP90:   s.latency.Quantile(0.90),
+		LatencyP99:   s.latency.Quantile(0.99),
+		LatencyMax:   s.latency.max.Load(),
+		LatencyMean:  s.latency.Mean(),
 	}
 	if b := r.Batches; b > 0 {
 		r.AvgQueue = float64(s.queueSum.Load()) / float64(b)
@@ -199,6 +202,7 @@ func (s *Stats) WriteProm(b *strings.Builder) {
 	fmt.Fprintf(b, "# HELP sgd_serve_rejected_total Requests refused by admission control (429).\n# TYPE sgd_serve_rejected_total counter\nsgd_serve_rejected_total %d\n", r.Rejected)
 	fmt.Fprintf(b, "# HELP sgd_serve_dropped_total Requests dropped by the active fault plan.\n# TYPE sgd_serve_dropped_total counter\nsgd_serve_dropped_total %d\n", r.Dropped)
 	fmt.Fprintf(b, "# HELP sgd_serve_batches_total Dispatched inference micro-batches.\n# TYPE sgd_serve_batches_total counter\nsgd_serve_batches_total %d\n", r.Batches)
+	fmt.Fprintf(b, "# HELP sgd_serve_quant_batches_total Micro-batches scored through the int8 quantised path.\n# TYPE sgd_serve_quant_batches_total counter\nsgd_serve_quant_batches_total %d\n", r.QuantBatches)
 	fmt.Fprintf(b, "# HELP sgd_serve_snapshot_swaps_total Model snapshot hot-swaps.\n# TYPE sgd_serve_snapshot_swaps_total counter\nsgd_serve_snapshot_swaps_total %d\n", r.Swaps)
 	fmt.Fprintf(b, "# HELP sgd_serve_model_version Current served snapshot version.\n# TYPE sgd_serve_model_version gauge\nsgd_serve_model_version %d\n", r.ModelVersion)
 	fmt.Fprintf(b, "# HELP sgd_serve_batch_size_avg Mean requests per dispatched batch.\n# TYPE sgd_serve_batch_size_avg gauge\nsgd_serve_batch_size_avg %g\n", r.AvgBatch)
