@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke ps-smoke
 
 build:
 	$(GO) build ./...
@@ -111,6 +111,15 @@ quant-smoke:
 # temp dir) so the tree stays clean.
 span-smoke:
 	GO=$(GO) sh scripts/span_smoke.sh
+
+# ps-smoke is the parameter-server degradation gate: run the sharded tier
+# (ps-sync and ps-async) under the storm fault plan on the virtual-time
+# scheduler and fail unless the barriered tier degrades at least 2x more
+# than apply-on-arrival — the paper's cluster contrast as a CI assertion.
+# The report goes to a temp path so the run never dirties the tree.
+ps-smoke:
+	$(GO) run ./cmd/sgdps -plan storm -assert-contrast 2 \
+		-out $${PS_TMP:-$$(mktemp -t ps-report.XXXXXX.json)}
 
 # fuzz exercises the input-boundary fuzz targets for a bounded time each.
 # The minimize budget is capped: on a small box, minimizing a multi-KB

@@ -93,9 +93,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	configs := matrix(*strategies, *devices, *datasets, *maxN, *epochs, *threads)
-	if len(configs) == 0 {
-		fmt.Fprintln(stderr, "sgdchaos: the filters selected no configurations")
+	filter := regress.MatrixFilter{
+		Strategies: *strategies,
+		Devices:    *devices,
+		Datasets:   *datasets,
+		N:          *maxN,
+		Epochs:     *epochs,
+		Threads:    *threads,
+	}
+	configs, err := filter.Apply(regress.DefaultMatrix())
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)
 		return 2
 	}
 	for _, c := range configs {
@@ -125,39 +133,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "sgdchaos: wrote %s (%d configs)\n", *out, len(rep.Configs))
 	return 0
-}
-
-// matrix filters the default 8-engine matrix and applies the scale
-// overrides. Filters are comma-separated allow-lists; empty keeps all.
-func matrix(strategies, devices, datasets string, maxN, epochs, threads int) []regress.Config {
-	keep := func(filter, val string) bool {
-		if filter == "" {
-			return true
-		}
-		for _, f := range strings.Split(filter, ",") {
-			if strings.TrimSpace(f) == val {
-				return true
-			}
-		}
-		return false
-	}
-	var out []regress.Config
-	for _, c := range regress.DefaultMatrix() {
-		if !keep(strategies, c.Strategy) || !keep(devices, c.Device) || !keep(datasets, c.Dataset) {
-			continue
-		}
-		if maxN > 0 {
-			c.N = maxN
-		}
-		if epochs > 0 {
-			c.Epochs = epochs
-		}
-		if threads > 0 && c.Threads > 0 {
-			c.Threads = threads
-		}
-		out = append(out, c)
-	}
-	return out
 }
 
 // slowdownString renders a degradation factor, spelling out the -1 sentinel

@@ -1,19 +1,22 @@
-// Command sgdgate is the regression gate for the 8-engine matrix: it
-// re-runs every configuration of the paper's sync/async × CPU/GPU ×
-// dense/sparse cube at a small seeded scale and checks the convergence
-// curves against committed goldens (deterministic engines) or quantile
-// envelopes (asynchronous engines), plus a noise-aware diff of the
-// epochbench performance report against its committed baseline.
+// Command sgdgate is the regression gate for the engine matrix: it re-runs
+// every configuration of the paper's sync/async × CPU/GPU × dense/sparse
+// cube, plus the sharded parameter-server tier, at a small seeded scale and
+// checks the convergence curves against committed goldens (deterministic
+// engines) or quantile envelopes (asynchronous engines), plus a noise-aware
+// diff of the epochbench performance report against its committed baseline.
 //
 // Subcommands:
 //
-//	sgdgate run     [-report out.json]             run the matrix, write raw curves (no gating)
-//	sgdgate compare [-golden dir] [-report out.json] [-update]
+//	sgdgate run     [-only substr] [-report out.json]  run the matrix, write raw curves (no gating)
+//	sgdgate compare [-only substr] [-golden dir] [-report out.json] [-update]
 //	                                               gate against goldens; -update re-records them
 //	sgdgate bench   -baseline BENCH_baseline.json -new BENCH_epoch.json [-report out.json]
 //	                                               perf gate: diff fresh bench report vs baseline
 //
-// Exit status: 0 all gates pass, 1 a gate failed, 2 usage or I/O error.
+// -only keeps the configurations whose fingerprint key contains the
+// substring; a substring matching nothing is a usage error, so a typo can
+// not silently gate an empty matrix. Exit status: 0 all gates pass, 1 a
+// gate failed, 2 usage or I/O error.
 package main
 
 import (
@@ -64,8 +67,13 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	report := fs.String("report", "", "write raw run results as JSON to this path")
+	only := fs.String("only", "", "keep configs whose fingerprint key contains this substring")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	configs, err := regress.MatrixFilter{Only: *only}.Apply(regress.FullMatrix())
+	if err != nil {
+		return fail(stderr, err)
 	}
 	type runDump struct {
 		Key  string               `json:"key"`
@@ -73,7 +81,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		Runs []regress.RunOutcome `json:"runs"`
 	}
 	var dumps []runDump
-	for _, c := range regress.DefaultMatrix() {
+	for _, c := range configs {
 		runs, err := regress.RunSeeds(c)
 		if err != nil {
 			return fail(stderr, err)
@@ -98,10 +106,14 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	golden := fs.String("golden", defaultGoldenDir, "directory of committed goldens")
 	report := fs.String("report", "", "write the gate report as JSON to this path")
 	update := fs.Bool("update", false, "re-record goldens instead of comparing")
+	only := fs.String("only", "", "keep configs whose fingerprint key contains this substring")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	configs := regress.DefaultMatrix()
+	configs, err := regress.MatrixFilter{Only: *only}.Apply(regress.FullMatrix())
+	if err != nil {
+		return fail(stderr, err)
+	}
 	if *update {
 		if err := regress.Update(*golden, configs); err != nil {
 			return fail(stderr, err)

@@ -1,0 +1,185 @@
+// Command sgdps runs the sharded parameter-server tier under a named fault
+// plan and emits a JSON degradation report: for the barriered (ps-sync) and
+// apply-on-arrival (ps-async) cluster configurations, the healthy
+// time-to-threshold and how much it stretches when the transport carries a
+// straggler, drops or duplicates pushes, or partitions a worker for whole
+// rounds. It is cmd/sgdchaos lifted across the transport: the same
+// sync-fragile/async-robust contrast, measured where the paper's cluster
+// argument lives.
+//
+// Usage:
+//
+//	sgdps [-plan storm] [-seed 1] [-seq] [-deadline 0] [-tol 0.1]
+//	      [-intensities 0,0.5,1] [-out report.json]
+//	      [-strategies ps-sync,ps-async] [-maxn 0] [-epochs 0]
+//	      [-workers 0] [-shards 0] [-assert-contrast 0]
+//	sgdps -list
+//
+// -assert-contrast R turns the report into a gate: the run fails (exit 1)
+// unless every ps-async config reaches its loss threshold under the nominal
+// plan and the mildest ps-sync degradation is at least R times the worst
+// ps-async one (an unreached ps-sync threshold counts as infinite
+// degradation). CI runs `sgdps -plan storm -assert-contrast 2`.
+//
+// Exit status: 0 report written (and any assertion held), 1 a run or the
+// contrast assertion failed, 2 usage error — including a filter that
+// matches no configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/regress"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgdps", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		planName    = fs.String("plan", "storm", "fault plan name (-list to enumerate)")
+		list        = fs.Bool("list", false, "list the named fault plans and exit")
+		seed        = fs.Int64("seed", 1, "seed for model init, shuffles, fault streams and the schedule")
+		seq         = fs.Bool("seq", true, "run faulted epochs on the virtual-time sequential scheduler (exact replay)")
+		deadline    = fs.Float64("deadline", 0, "ps-sync round deadline as a multiple of the healthy round (0 = classic BSP)")
+		tol         = fs.Float64("tol", 0.1, "loss-gap tolerance defining each config's threshold")
+		intensities = fs.String("intensities", "", "comma-separated plan intensity multipliers (default 1)")
+		out         = fs.String("out", "-", "write the report JSON to this path (- = stdout)")
+		strategies  = fs.String("strategies", "", "comma filter on ps strategies (ps-sync,ps-async)")
+		maxN        = fs.Int("maxn", 0, "override per-config example count (0 = matrix default)")
+		epochs      = fs.Int("epochs", 0, "override per-config epoch budget (0 = matrix default)")
+		workers     = fs.Int("workers", 0, "override cluster worker count (0 = matrix default)")
+		shards      = fs.Int("shards", 0, "override server shard count (0 = matrix default)")
+		contrast    = fs.Float64("assert-contrast", 0, "fail unless min sync slowdown >= this multiple of max async slowdown (0 = report only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range chaos.PlanNames() {
+			p, _ := chaos.Lookup(name)
+			fmt.Fprintf(stdout, "%-10s %s\n", name, p)
+		}
+		return 0
+	}
+	plan, err := chaos.Lookup(*planName)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdps: %v (plans: %s)\n", err, strings.Join(chaos.PlanNames(), ", "))
+		return 2
+	}
+	opts := regress.ChaosOpts{
+		Seed:       *seed,
+		Sequential: *seq,
+		Deadline:   *deadline,
+		Tol:        *tol,
+	}
+	if *intensities != "" {
+		for _, f := range strings.Split(*intensities, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(stderr, "sgdps: bad intensity %q\n", f)
+				return 2
+			}
+			opts.Intensities = append(opts.Intensities, v)
+		}
+	}
+	filter := regress.MatrixFilter{
+		Strategies: *strategies,
+		N:          *maxN,
+		Epochs:     *epochs,
+		Threads:    *workers,
+	}
+	configs, err := filter.Apply(regress.PSMatrix())
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdps: %v\n", err)
+		return 2
+	}
+	if *shards > 0 {
+		for i := range configs {
+			configs[i].Shards = *shards
+		}
+	}
+	for _, c := range configs {
+		fmt.Fprintf(stderr, "sgdps: %s under %s...\n", c.Fingerprint().Key(), plan)
+	}
+	rep, err := regress.Degradation(configs, plan, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdps: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "sgdps: mildest ps-sync degradation %s, worst ps-async %.2fx, async all reached: %v\n",
+		slowdownString(rep.MinSyncSlowdown), rep.MaxAsyncSlowdown, rep.AsyncAllReached)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "sgdps: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "-" || *out == "" {
+		stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(stderr, "sgdps: %v\n", err)
+		return 1
+	} else {
+		fmt.Fprintf(stderr, "sgdps: wrote %s (%d configs)\n", *out, len(rep.Configs))
+	}
+	if *contrast > 0 {
+		if err := assertContrast(rep, *contrast); err != nil {
+			fmt.Fprintf(stderr, "sgdps: contrast assertion FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "sgdps: contrast assertion held (>= %gx)\n", *contrast)
+	}
+	return 0
+}
+
+// assertContrast checks the paper's cluster claim on the report: the
+// barriered tier must degrade at least ratio times more than the
+// apply-on-arrival tier, which itself must still reach its threshold.
+func assertContrast(rep regress.DegradationReport, ratio float64) error {
+	var haveSync, haveAsync bool
+	for _, c := range rep.Configs {
+		switch c.Strategy {
+		case "ps-sync":
+			haveSync = true
+		case "ps-async":
+			haveAsync = true
+		}
+	}
+	if !haveSync || !haveAsync {
+		return fmt.Errorf("report needs both ps-sync and ps-async configs (have sync=%v async=%v)", haveSync, haveAsync)
+	}
+	if !rep.AsyncAllReached {
+		return fmt.Errorf("a ps-async config missed its loss threshold under the plan")
+	}
+	if rep.MaxAsyncSlowdown <= 0 {
+		return fmt.Errorf("no ps-async slowdown recorded")
+	}
+	// MinSyncSlowdown < 0 means no sync run reached threshold at all:
+	// infinite degradation, which trivially clears any finite ratio.
+	if rep.MinSyncSlowdown >= 0 && rep.MinSyncSlowdown < ratio*rep.MaxAsyncSlowdown {
+		return fmt.Errorf("min ps-sync slowdown %.2fx < %g x max ps-async %.2fx",
+			rep.MinSyncSlowdown, ratio, rep.MaxAsyncSlowdown)
+	}
+	return nil
+}
+
+// slowdownString renders a degradation factor, spelling out the -1 sentinel
+// (threshold never reached under the plan).
+func slowdownString(s float64) string {
+	if s < 0 {
+		return "unreached"
+	}
+	return fmt.Sprintf("%.2fx", s)
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/regress"
+)
+
+// trimmed cuts the ps matrix to a scale that runs in well under a second.
+var trimmed = []string{"-maxn", "200", "-epochs", "8"}
+
+func TestRunStormReportAndContrastGate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-plan", "storm", "-seed", "1", "-assert-contrast", "2"}, trimmed...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep regress.DegradationReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v", err)
+	}
+	if rep.Plan.Name != "storm" {
+		t.Errorf("report plan %q, want storm", rep.Plan.Name)
+	}
+	if len(rep.Configs) != 2 {
+		t.Fatalf("got %d configs, want ps-sync + ps-async", len(rep.Configs))
+	}
+	if !rep.AsyncAllReached {
+		t.Error("ps-async missed its threshold under storm at test scale")
+	}
+	// The contrast the command exists to show: the barrier waits out the
+	// 10x straggler on every round while dynamic claiming absorbs it.
+	if rep.MinSyncSlowdown >= 0 && rep.MinSyncSlowdown < 2*rep.MaxAsyncSlowdown {
+		t.Errorf("sync slowdown %.2fx < 2x async %.2fx", rep.MinSyncSlowdown, rep.MaxAsyncSlowdown)
+	}
+}
+
+func TestContrastAssertionNeedsBothStrategies(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-plan", "storm", "-strategies", "ps-async", "-assert-contrast", "2"}, trimmed...)
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (assertion cannot hold without a ps-sync config)", code)
+	}
+	if !strings.Contains(stderr.String(), "contrast assertion FAILED") {
+		t.Errorf("stderr missing assertion failure: %s", stderr.String())
+	}
+}
+
+func TestAssertContrast(t *testing.T) {
+	mk := func(minSync, maxAsync float64, reached bool) regress.DegradationReport {
+		return regress.DegradationReport{
+			Configs: []regress.ChaosConfigReport{
+				{Strategy: "ps-sync"}, {Strategy: "ps-async"},
+			},
+			MinSyncSlowdown:  minSync,
+			MaxAsyncSlowdown: maxAsync,
+			AsyncAllReached:  reached,
+		}
+	}
+	if err := assertContrast(mk(10, 1.6, true), 2); err != nil {
+		t.Errorf("10x vs 1.6x failed a 2x assertion: %v", err)
+	}
+	if err := assertContrast(mk(-1, 1.6, true), 2); err != nil {
+		t.Errorf("unreached sync (infinite degradation) failed the assertion: %v", err)
+	}
+	if err := assertContrast(mk(2.5, 1.6, true), 2); err == nil {
+		t.Error("2.5x vs 1.6x passed a 2x assertion")
+	}
+	if err := assertContrast(mk(10, 1.6, false), 2); err == nil {
+		t.Error("assertion passed with a ps-async config missing its threshold")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	out := filepath.Join(t.TempDir(), "report.json")
+	args := append([]string{"-plan", "straggler", "-out", out, "-strategies", "ps-async"}, trimmed...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty with -out: %q", stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep regress.DegradationReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Configs) != 1 || rep.Configs[0].Strategy != "ps-async" {
+		t.Errorf("unexpected configs in file report: %+v", rep.Configs)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"storm", "straggler", "drops"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing plan %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-plan", "nosuchplan"},
+		{"-intensities", "1,bogus"},
+		{"-strategies", "sync"}, // in-process strategy: not in the ps matrix
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}

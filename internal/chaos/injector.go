@@ -31,11 +31,12 @@ type Injector struct {
 	plan Plan
 	seed int64
 
-	drops     atomic.Int64
-	dups      atomic.Int64
-	stale     atomic.Int64
-	straggled atomic.Int64
-	shortfall atomic.Int64
+	drops       atomic.Int64
+	dups        atomic.Int64
+	stale       atomic.Int64
+	straggled   atomic.Int64
+	shortfall   atomic.Int64
+	partitioned atomic.Int64
 }
 
 // NewInjector builds the injector for a plan and run seed.
@@ -67,6 +68,7 @@ type Stream struct {
 	// local fault tallies, folded into the injector atomically by flush
 	// so the hot loop touches no shared cache line.
 	drops, dups, stale int64
+	partitions         int64
 	updates            int64
 }
 
@@ -105,6 +107,23 @@ func (s *Stream) Fate() Fate {
 	return FateApply
 }
 
+// Partitioned decides whether the worker's next transport round happens
+// during a partition of its link to the parameter-server tier: pulls must
+// fall back to cached parameters and pushes are lost in flight. The draw is
+// per round, not per message, so a partition covers a whole pull-compute-push
+// cycle — the window shape of a real link outage.
+func (s *Stream) Partitioned() bool {
+	p := s.in.plan
+	if p.PartitionFrac <= 0 {
+		return false
+	}
+	if s.uniform() < p.PartitionFrac {
+		s.partitions++
+		return true
+	}
+	return false
+}
+
 // Cost is the virtual-time cost of one of this worker's updates (the
 // straggler factor, or 1).
 func (s *Stream) Cost() float64 {
@@ -130,10 +149,11 @@ func (s *Stream) Flush() {
 	s.in.drops.Add(s.drops)
 	s.in.dups.Add(s.dups)
 	s.in.stale.Add(s.stale)
+	s.in.partitioned.Add(s.partitions)
 	if s.straggler {
 		s.in.straggled.Add(s.updates)
 	}
-	s.drops, s.dups, s.stale, s.updates = 0, 0, 0, 0
+	s.drops, s.dups, s.stale, s.partitions, s.updates = 0, 0, 0, 0, 0
 }
 
 // CountShortfall records updates applied with missing worker contributions
@@ -159,5 +179,8 @@ func (in *Injector) Drain(rec obs.Recorder) {
 	}
 	if d := in.shortfall.Swap(0); d > 0 {
 		rec.Add(obs.CounterChaosShortfall, d)
+	}
+	if d := in.partitioned.Swap(0); d > 0 {
+		rec.Add(obs.CounterChaosPartitioned, d)
 	}
 }

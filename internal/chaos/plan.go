@@ -62,12 +62,18 @@ type Plan struct {
 	// against state up to Staleness of the worker's own updates old
 	// (0 = always fresh).
 	Staleness int `json:"staleness,omitempty"`
+	// PartitionFrac is the fraction of transport rounds a worker spends
+	// partitioned from the parameter-server tier (internal/ps): while a
+	// link is down, pulls fall back to the worker's cached parameters and
+	// pushes are lost. Only the distributed engines consult it; the
+	// in-process engines have no transport to partition. Clamped to [0, 1].
+	PartitionFrac float64 `json:"partition_frac,omitempty"`
 }
 
 // Active reports whether the plan injects any fault.
 func (p Plan) Active() bool {
 	return (p.Stragglers > 0 && p.StragglerFactor > 1) ||
-		p.DropFrac > 0 || p.DupFrac > 0 || p.Staleness > 0
+		p.DropFrac > 0 || p.DupFrac > 0 || p.Staleness > 0 || p.PartitionFrac > 0
 }
 
 // Scale returns the plan with every fault knob scaled by intensity:
@@ -89,6 +95,7 @@ func (p Plan) Scale(intensity float64) Plan {
 	s.DropFrac = clamp01(p.DropFrac * intensity)
 	s.DupFrac = clamp01(p.DupFrac * intensity)
 	s.Staleness = int(math.Round(float64(p.Staleness) * intensity))
+	s.PartitionFrac = clamp01(p.PartitionFrac * intensity)
 	return s
 }
 
@@ -132,8 +139,12 @@ func (p Plan) String() string {
 	if !p.Active() {
 		return p.Name + "(healthy)"
 	}
-	return fmt.Sprintf("%s(straggler=%dx%.3g drop=%.3g dup=%.3g stale=%d)",
+	s := fmt.Sprintf("%s(straggler=%dx%.3g drop=%.3g dup=%.3g stale=%d",
 		p.Name, p.Stragglers, p.StragglerFactor, p.DropFrac, p.DupFrac, p.Staleness)
+	if p.PartitionFrac > 0 {
+		s += fmt.Sprintf(" partition=%.3g", p.PartitionFrac)
+	}
+	return s + ")"
 }
 
 // plans is the named catalogue. "storm" is the acceptance plan of the
@@ -146,6 +157,7 @@ var plans = map[string]Plan{
 	"dups":      {Name: "dups", DupFrac: 0.01},
 	"stale":     {Name: "stale", Staleness: 64},
 	"storm":     {Name: "storm", Stragglers: 1, StragglerFactor: 10, DropFrac: 0.01},
+	"partition": {Name: "partition", PartitionFrac: 0.1},
 }
 
 // Lookup resolves a named plan.

@@ -127,6 +127,10 @@ const (
 	// degradation path: the barrier proceeded before every worker
 	// reported).
 	CounterChaosShortfall
+	// CounterChaosPartitioned counts transport rounds a worker spent
+	// partitioned from the parameter-server tier (pull served from cache,
+	// pushes lost in flight).
+	CounterChaosPartitioned
 	// CounterServeRequests counts prediction requests admitted by the
 	// inference micro-batcher (internal/serve).
 	CounterServeRequests
@@ -149,6 +153,20 @@ const (
 	// merged into an earlier update of the same component — shared-line
 	// stores the unstriped path would have issued and this path did not.
 	CounterStripeCoalesced
+	// CounterPSPulls counts shard parameter pulls served by the parameter-
+	// server tier (internal/ps), cache fallbacks under partition excluded.
+	CounterPSPulls
+	// CounterPSPushes counts gradient pushes the parameter server applied
+	// (duplicates deduplicated by sequence number and lost pushes excluded).
+	CounterPSPushes
+	// CounterPSStalePushes counts applied pushes whose gradient was computed
+	// against a shard version older than the one it landed on — the
+	// asynchronous tier's staleness exposure.
+	CounterPSStalePushes
+	// CounterPSStalenessSum accumulates the total staleness (shard versions
+	// advanced between pull and apply) over applied pushes;
+	// CounterPSStalenessSum / CounterPSPushes is the mean gradient staleness.
+	CounterPSStalenessSum
 	numCounters
 )
 
@@ -185,6 +203,8 @@ func (c Counter) String() string {
 		return "chaos_straggled"
 	case CounterChaosShortfall:
 		return "chaos_shortfall"
+	case CounterChaosPartitioned:
+		return "chaos_partitioned"
 	case CounterServeRequests:
 		return "serve_requests"
 	case CounterServeRejected:
@@ -199,6 +219,14 @@ func (c Counter) String() string {
 		return "stripe_flushes"
 	case CounterStripeCoalesced:
 		return "stripe_coalesced"
+	case CounterPSPulls:
+		return "ps_pulls"
+	case CounterPSPushes:
+		return "ps_pushes"
+	case CounterPSStalePushes:
+		return "ps_stale_pushes"
+	case CounterPSStalenessSum:
+		return "ps_staleness_sum"
 	}
 	return "unknown"
 }

@@ -1,0 +1,177 @@
+package ps
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPServer is the HTTP/JSON transport over a Server, built on the same
+// net/http plumbing as internal/serve so the ps tier answers real sockets:
+//
+//	GET  /pull?shard=K   PullReply for shard K
+//	POST /push           PushRequest body -> PushReply
+//	GET  /stats          Stats snapshot
+//
+// Malformed shard/worker/gradient inputs surface as HTTP 400 with a JSON
+// error body. Admin operations (Load, Snapshot, CloseRound, Drain) stay on
+// the *Server — they belong to whoever owns the training loop, not to the
+// workers on the wire.
+type HTTPServer struct {
+	srv     *Server
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewHTTPServer wraps a parameter server with the HTTP transport.
+func NewHTTPServer(srv *Server) *HTTPServer { return &HTTPServer{srv: srv} }
+
+// Handler returns the route mux (exported so tests and in-process callers
+// can drive the transport without a socket).
+func (h *HTTPServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pull", h.handlePull)
+	mux.HandleFunc("/push", h.handlePush)
+	mux.HandleFunc("/stats", h.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (h *HTTPServer) handlePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("ps: bad shard query: %v", err))
+		return
+	}
+	rep, err := h.srv.Pull(shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (h *HTTPServer) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PushRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("ps: bad push body: %v", err))
+		return
+	}
+	rep, err := h.srv.Push(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (h *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.StatsSnapshot())
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (h *HTTPServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.ln = ln
+	h.httpSrv = &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go h.httpSrv.Serve(ln) //nolint:errcheck // Shutdown's ErrServerClosed
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the HTTP listener.
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	if h.httpSrv == nil {
+		return nil
+	}
+	return h.httpSrv.Shutdown(ctx)
+}
+
+// HTTPTransport is the worker-side client of HTTPServer: a Transport that
+// speaks the JSON wire format against a base URL. One instance per worker
+// (the Transport contract); instances may share the http.Client.
+type HTTPTransport struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// decode reads a JSON success body or surfaces the server's error payload.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("ps: server: %s", e.Error)
+		}
+		return fmt.Errorf("ps: server returned %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Pull implements Transport.
+func (t *HTTPTransport) Pull(shard int) (PullReply, error) {
+	resp, err := t.client().Get(fmt.Sprintf("%s/pull?shard=%d", t.BaseURL, shard))
+	if err != nil {
+		return PullReply{}, err
+	}
+	var rep PullReply
+	if err := decode(resp, &rep); err != nil {
+		return PullReply{}, err
+	}
+	return rep, nil
+}
+
+// Push implements Transport.
+func (t *HTTPTransport) Push(req PushRequest) (PushReply, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return PushReply{}, err
+	}
+	resp, err := t.client().Post(t.BaseURL+"/push", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return PushReply{}, err
+	}
+	var rep PushReply
+	if err := decode(resp, &rep); err != nil {
+		return PushReply{}, err
+	}
+	return rep, nil
+}

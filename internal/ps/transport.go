@@ -1,0 +1,190 @@
+package ps
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/chaos"
+)
+
+// Transport is what a worker holds: the two-verb pull/push contract of the
+// parameter-server tier. Implementations are synchronous RPC — a call
+// returns once the server has handled (or the fault layer has lost) the
+// message. A Transport is used by a single worker goroutine; the server
+// side is safe for any number of concurrent transports.
+type Transport interface {
+	// Pull fetches shard's parameter block and version.
+	Pull(shard int) (PullReply, error)
+	// Push delivers one gradient contribution.
+	Push(req PushRequest) (PushReply, error)
+}
+
+// ErrPartitioned is returned by a FaultTransport whose link is down for the
+// current round: the pull never reached the server, so the worker must fall
+// back to its cached parameters (its pushes are silently lost instead).
+var ErrPartitioned = errors.New("ps: link partitioned")
+
+// ErrClosed is returned by a ChanTransport whose dispatcher has stopped.
+var ErrClosed = errors.New("ps: transport closed")
+
+// chanCall is one queued RPC: the request, and the channel the dispatcher
+// answers on.
+type chanCall struct {
+	pull  int // shard, when push is nil
+	push  *PushRequest
+	reply chan chanReply
+}
+
+type chanReply struct {
+	pull PullReply
+	push PushReply
+	err  error
+}
+
+// ChanTransport carries pull/push over in-process channels: every call
+// enqueues onto one buffered request channel drained by a single dispatcher
+// goroutine, so messages from concurrent workers serialise through a real
+// queue — the in-process stand-in for a server's accept loop — rather than
+// calling into the server directly. Start/Stop bound the dispatcher's
+// lifetime; the engine brackets each epoch with them so no goroutine
+// outlives a run.
+type ChanTransport struct {
+	srv  *Server
+	mu   sync.Mutex
+	reqs chan chanCall
+	done chan struct{}
+}
+
+// NewChanTransport builds a (stopped) channel transport for srv.
+func NewChanTransport(srv *Server) *ChanTransport {
+	return &ChanTransport{srv: srv}
+}
+
+// Start launches the dispatcher goroutine. Idempotent.
+func (t *ChanTransport) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.reqs != nil {
+		return
+	}
+	reqs := make(chan chanCall, 64)
+	done := make(chan struct{})
+	t.reqs, t.done = reqs, done
+	go func() {
+		defer close(done)
+		for c := range reqs {
+			var rep chanReply
+			if c.push != nil {
+				rep.push, rep.err = t.srv.Push(*c.push)
+			} else {
+				rep.pull, rep.err = t.srv.Pull(c.pull)
+			}
+			c.reply <- rep
+		}
+	}()
+}
+
+// Stop drains and stops the dispatcher, waiting for it to exit. Calls made
+// after Stop fail with ErrClosed. Idempotent.
+func (t *ChanTransport) Stop() {
+	t.mu.Lock()
+	reqs, done := t.reqs, t.done
+	t.reqs, t.done = nil, nil
+	t.mu.Unlock()
+	if reqs != nil {
+		close(reqs)
+		<-done
+	}
+}
+
+func (t *ChanTransport) call(c chanCall) (chanReply, error) {
+	t.mu.Lock()
+	reqs := t.reqs
+	t.mu.Unlock()
+	if reqs == nil {
+		return chanReply{}, ErrClosed
+	}
+	c.reply = make(chan chanReply, 1)
+	reqs <- c
+	return <-c.reply, nil
+}
+
+// Pull implements Transport.
+func (t *ChanTransport) Pull(shard int) (PullReply, error) {
+	rep, err := t.call(chanCall{pull: shard})
+	if err != nil {
+		return PullReply{}, err
+	}
+	return rep.pull, rep.err
+}
+
+// Push implements Transport.
+func (t *ChanTransport) Push(req PushRequest) (PushReply, error) {
+	rep, err := t.call(chanCall{push: &req})
+	if err != nil {
+		return PushReply{}, err
+	}
+	return rep.push, rep.err
+}
+
+// FaultTransport threads a chaos plan through a base transport. One
+// instance per worker, owning that worker's deterministic chaos.Stream:
+//
+//   - BeginRound draws whether the worker's link is partitioned for the
+//     whole upcoming pull-compute-push round; while down, Pull returns
+//     ErrPartitioned (the worker computes against its cache) and Push is
+//     lost in flight.
+//   - Each delivered Push draws a fate: FateDrop loses the message after
+//     the worker sent it (no error — the worker cannot tell), FateDup
+//     delivers it twice, exercising the server's sequence-number dedupe.
+//
+// Latency stretch (the straggler factor) is a scheduling concern, not a
+// message concern, so it is charged by the engine through chaos.Worker.Step
+// rather than here.
+type FaultTransport struct {
+	Base   Transport
+	Stream *chaos.Stream
+
+	down bool
+}
+
+// NewFaultTransport wraps base with worker k's fault stream from in.
+func NewFaultTransport(base Transport, in *chaos.Injector, k int) *FaultTransport {
+	return &FaultTransport{Base: base, Stream: in.Worker(k)}
+}
+
+// BeginRound draws the link state for the next pull-compute-push round and
+// reports whether the worker is partitioned.
+func (t *FaultTransport) BeginRound() bool {
+	t.down = t.Stream.Partitioned()
+	return t.down
+}
+
+// Pull implements Transport; a partitioned link returns ErrPartitioned.
+func (t *FaultTransport) Pull(shard int) (PullReply, error) {
+	if t.down {
+		return PullReply{}, ErrPartitioned
+	}
+	return t.Base.Pull(shard)
+}
+
+// Push implements Transport. Lost pushes (partition or drop fate) return an
+// empty, non-applied reply with no error: from the worker's seat the
+// message simply vanished.
+func (t *FaultTransport) Push(req PushRequest) (PushReply, error) {
+	if t.down {
+		return PushReply{}, nil
+	}
+	switch t.Stream.Fate() {
+	case chaos.FateDrop:
+		return PushReply{}, nil
+	case chaos.FateDup:
+		rep, err := t.Base.Push(req)
+		if err != nil {
+			return rep, err
+		}
+		t.Base.Push(req) // retransmission; the server dedupes by Seq
+		return rep, nil
+	}
+	return t.Base.Push(req)
+}

@@ -1,0 +1,174 @@
+package ps
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func oneShardServer(t *testing.T, mode Mode) *Server {
+	t.Helper()
+	sh, err := NewSharding(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(mode, sh, 0.5, 4)
+}
+
+// TestChanTransportRoundTrip drives pull/push through the dispatcher
+// goroutine, including concurrent pushers, and checks the closed path.
+func TestChanTransportRoundTrip(t *testing.T) {
+	srv := oneShardServer(t, ModeAsync)
+	ct := NewChanTransport(srv)
+	ct.Start()
+	defer ct.Stop()
+
+	rep, err := ct.Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shard != 0 || len(rep.Params) != 8 {
+		t.Fatalf("pull reply = %+v", rep)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			grad := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+			for s := int64(1); s <= 8; s++ {
+				if _, err := ct.Push(PushRequest{Shard: 0, Worker: w, Seq: s, Count: 1, Grad: grad}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := srv.StatsSnapshot(); st.Pushes != 32 {
+		t.Fatalf("server saw %d pushes, want 32", st.Pushes)
+	}
+	// Server-side errors travel back through the channel.
+	if _, err := ct.Pull(5); err == nil {
+		t.Fatal("pull of unknown shard returned no error")
+	}
+	ct.Stop()
+	if _, err := ct.Pull(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pull after Stop returned %v, want ErrClosed", err)
+	}
+}
+
+// TestFaultTransportPartition checks the whole-round partition window:
+// pulls fail with ErrPartitioned and pushes vanish without an error.
+func TestFaultTransportPartition(t *testing.T) {
+	srv := oneShardServer(t, ModeAsync)
+	in := chaos.NewInjector(chaos.Plan{PartitionFrac: 1}, 1)
+	ft := NewFaultTransport(directTransport{srv}, in, 0)
+	if !ft.BeginRound() {
+		t.Fatal("PartitionFrac=1 round not partitioned")
+	}
+	if _, err := ft.Pull(0); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned pull returned %v, want ErrPartitioned", err)
+	}
+	rep, err := ft.Push(PushRequest{Shard: 0, Worker: 0, Seq: 1, Count: 1, Grad: make([]float64, 8)})
+	if err != nil {
+		t.Fatalf("partitioned push returned error %v (lost pushes are silent)", err)
+	}
+	if rep.Applied {
+		t.Fatal("partitioned push reported applied")
+	}
+	if st := srv.StatsSnapshot(); st.Pulls != 0 || st.Pushes != 0 {
+		t.Fatalf("partitioned traffic reached the server: %+v", st)
+	}
+}
+
+// TestFaultTransportDuplicate checks the dup fate delivers the push twice
+// and the server's dedupe keeps the model at exactly one application.
+func TestFaultTransportDuplicate(t *testing.T) {
+	srv := oneShardServer(t, ModeAsync)
+	in := chaos.NewInjector(chaos.Plan{DupFrac: 1}, 1)
+	ft := NewFaultTransport(directTransport{srv}, in, 0)
+	ft.BeginRound()
+	grad := []float64{2, 0, 0, 0, 0, 0, 0, 0}
+	rep, err := ft.Push(PushRequest{Shard: 0, Worker: 0, Seq: 1, Basis: 0, Count: 1, Grad: grad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Applied {
+		t.Fatalf("duplicated push's first delivery reply = %+v, want applied", rep)
+	}
+	st := srv.StatsSnapshot()
+	if st.Pushes != 1 || st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want 1 applied / 1 deduplicated", st)
+	}
+	pull, _ := srv.Pull(0)
+	if math.Abs(pull.Params[0]-(-1)) > 1e-15 {
+		t.Fatalf("component 0 = %g, want -1 (dup applied once)", pull.Params[0])
+	}
+}
+
+// TestFaultTransportDrop checks the drop fate loses the push silently.
+func TestFaultTransportDrop(t *testing.T) {
+	srv := oneShardServer(t, ModeAsync)
+	in := chaos.NewInjector(chaos.Plan{DropFrac: 1}, 1)
+	ft := NewFaultTransport(directTransport{srv}, in, 0)
+	ft.BeginRound()
+	rep, err := ft.Push(PushRequest{Shard: 0, Worker: 0, Seq: 1, Count: 1, Grad: make([]float64, 8)})
+	if err != nil || rep.Applied {
+		t.Fatalf("dropped push reply = %+v err = %v, want silent loss", rep, err)
+	}
+	if st := srv.StatsSnapshot(); st.Pushes != 0 {
+		t.Fatalf("dropped push reached the server: %+v", st)
+	}
+}
+
+// directTransport calls the server without a queue — the minimal Transport
+// for wrapping tests.
+type directTransport struct{ srv *Server }
+
+func (d directTransport) Pull(shard int) (PullReply, error)     { return d.srv.Pull(shard) }
+func (d directTransport) Push(r PushRequest) (PushReply, error) { return d.srv.Push(r) }
+
+// TestHTTPTransport exercises the JSON wire format end to end: pull, push,
+// stats, and the 400 error mapping.
+func TestHTTPTransport(t *testing.T) {
+	srv := oneShardServer(t, ModeAsync)
+	hs := NewHTTPServer(srv)
+	ts := httptest.NewServer(hs.Handler())
+	defer ts.Close()
+	tr := &HTTPTransport{BaseURL: ts.URL, Client: ts.Client()}
+
+	rep, err := tr.Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 0 || len(rep.Params) != 8 {
+		t.Fatalf("pull reply = %+v", rep)
+	}
+	grad := []float64{2, 0, 0, 0, 0, 0, 0, 0}
+	prep, err := tr.Push(PushRequest{Shard: 0, Worker: 1, Seq: 1, Basis: 0, Count: 1, Grad: grad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Applied || prep.Version != 1 {
+		t.Fatalf("push reply = %+v, want applied at version 1", prep)
+	}
+	rep, err = tr.Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Params[0]-(-1)) > 1e-15 {
+		t.Fatalf("component 0 over HTTP = %g, want -1", rep.Params[0])
+	}
+	// Server-side validation surfaces as an error with the server's message.
+	if _, err := tr.Pull(9); err == nil {
+		t.Fatal("pull of unknown shard over HTTP returned no error")
+	}
+	if _, err := tr.Push(PushRequest{Shard: 0, Worker: 99, Seq: 2, Count: 1, Grad: grad}); err == nil {
+		t.Fatal("push from unknown worker over HTTP returned no error")
+	}
+}

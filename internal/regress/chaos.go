@@ -216,6 +216,10 @@ func abs(x float64) float64 {
 	return x
 }
 
+// isSyncStrategy classifies a strategy for the contrast summary. Explicit
+// equality, not a suffix test: strings.HasSuffix("async", "sync") is true.
+func isSyncStrategy(s string) bool { return s == "sync" || s == "ps-sync" }
+
 // Degradation runs the whole config set under the plan and summarises the
 // sync/async contrast at nominal intensity.
 func Degradation(configs []Config, plan chaos.Plan, opts ChaosOpts) (DegradationReport, error) {
@@ -230,14 +234,13 @@ func Degradation(configs []Config, plan chaos.Plan, opts ChaosOpts) (Degradation
 		if nom == nil {
 			continue
 		}
-		switch c.Strategy {
-		case "sync":
+		if isSyncStrategy(c.Strategy) {
 			// An unreached sync run is infinite degradation: it can never
 			// be the mildest, so only reached runs enter the min.
 			if nom.Reached && (rep.MinSyncSlowdown < 0 || nom.Slowdown < rep.MinSyncSlowdown) {
 				rep.MinSyncSlowdown = nom.Slowdown
 			}
-		case "async":
+		} else {
 			if !nom.Reached {
 				rep.AsyncAllReached = false
 			} else if nom.Slowdown > rep.MaxAsyncSlowdown {

@@ -30,15 +30,18 @@ import (
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/model"
+	"repro/internal/ps"
 )
 
 // Config describes one gated engine configuration. The zero values of the
 // tuning knobs are invalid; build configs with DefaultMatrix or fill every
 // field.
 type Config struct {
-	// Strategy is "sync" or "async".
+	// Strategy is "sync" or "async" for the in-process engines, or
+	// "ps-sync" / "ps-async" for the sharded parameter-server tier.
 	Strategy string `json:"strategy"`
-	// Device is "cpu-seq", "cpu-par" or "gpu".
+	// Device is "cpu-seq", "cpu-par" or "gpu"; the ps strategies run on
+	// "cluster" (N workers pulling/pushing against a sharded server).
 	Device string `json:"device"`
 	// Task is the model: "lr" or "svm" (the dense/sparse axis comes from
 	// the dataset).
@@ -46,8 +49,11 @@ type Config struct {
 	// Dataset is a registry name (data.Lookup); N is the generated scale.
 	Dataset string `json:"dataset"`
 	N       int    `json:"n"`
-	// Threads is the modeled CPU thread count for the parallel devices.
+	// Threads is the modeled CPU thread count for the parallel devices and
+	// the worker count for the cluster device.
 	Threads int `json:"threads"`
+	// Shards is the parameter-server shard count (cluster device only).
+	Shards int `json:"shards,omitempty"`
 	// Step is the SGD step size.
 	Step float64 `json:"step"`
 	// Epochs is how many engine epochs the gate runs (the recorded curve
@@ -63,9 +69,13 @@ type Config struct {
 // Deterministic reports whether the config is gated on an exact golden
 // curve rather than a quantile envelope. Synchronous engines compute
 // identical updates on every backend (the ViennaCL property, asserted
-// bitwise by the core tests); every asynchronous engine is gated
-// statistically, because with enough host cores its races are real.
-func (c Config) Deterministic() bool { return c.Strategy == "sync" }
+// bitwise by the core tests) and the barriered ps tier drives its workers
+// in a fixed order; every asynchronous engine is gated statistically,
+// because with enough host cores its races are real. Note the explicit
+// equality — strings.HasSuffix would also match "async"/"ps-async".
+func (c Config) Deterministic() bool {
+	return c.Strategy == "sync" || c.Strategy == "ps-sync"
+}
 
 // Fingerprint returns the golden-file key for this config.
 func (c Config) Fingerprint() core.Fingerprint {
@@ -82,10 +92,14 @@ func (c Config) Fingerprint() core.Fingerprint {
 // deviceName renders the device axis the way Engine.Name does, so the
 // fingerprint matches what an attached recorder would report.
 func (c Config) deviceName() string {
-	if c.Device == "cpu-par" {
+	switch c.Device {
+	case "cpu-par":
 		return fmt.Sprintf("cpu-par(%d)", c.Threads)
+	case "cluster":
+		return fmt.Sprintf("cluster(s%dw%d)", c.Shards, c.Threads)
+	default:
+		return c.Device
 	}
-	return c.Device
 }
 
 // Build constructs the engine, model and dataset of the config. The
@@ -135,6 +149,15 @@ func (c Config) Build() (core.Engine, model.Model, *data.Dataset, error) {
 		default:
 			return nil, nil, nil, fmt.Errorf("regress: unknown device %q", c.Device)
 		}
+	case "ps-sync", "ps-async":
+		if c.Device != "cluster" {
+			return nil, nil, nil, fmt.Errorf("regress: strategy %q requires the cluster device, got %q", c.Strategy, c.Device)
+		}
+		mode := ps.ModeSync
+		if c.Strategy == "ps-async" {
+			mode = ps.ModeAsync
+		}
+		return ps.NewEngine(mode, m, ds, c.Step, c.Threads, c.Shards), m, ds, nil
 	default:
 		return nil, nil, nil, fmt.Errorf("regress: unknown strategy %q", c.Strategy)
 	}
@@ -184,4 +207,44 @@ func DefaultMatrix() []Config {
 		}
 	}
 	return out
+}
+
+// PSMatrix is the parameter-server tier at gate scale: the same BSP/Hogwild
+// contrast the in-process matrix gates, lifted across a transport — 4
+// workers pulling shard parameters and pushing gradients against a 4-shard
+// server. covtype keeps the cluster runs dense (every push touches a full
+// shard block), which is where shard-level aggregation differences show
+// first.
+func PSMatrix() []Config {
+	var out []Config
+	for _, strategy := range []string{"ps-sync", "ps-async"} {
+		c := Config{
+			Strategy: strategy,
+			Device:   "cluster",
+			Task:     "lr",
+			Dataset:  "covtype",
+			N:        400,
+			Threads:  4, // cluster workers
+			Shards:   4,
+			Epochs:   12,
+			Seeds:    5,
+			BaseSeed: 1,
+		}
+		if strategy == "ps-sync" {
+			// Mini-batch rounds (workers x batch examples per barrier) sit
+			// between full-batch GD and per-example SGD; the step follows.
+			c.Step = 0.5
+			c.Seeds = 1
+		} else {
+			c.Step = 0.3
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FullMatrix is every gated configuration: the paper's in-process cube plus
+// the parameter-server tier.
+func FullMatrix() []Config {
+	return append(DefaultMatrix(), PSMatrix()...)
 }

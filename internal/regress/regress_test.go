@@ -7,13 +7,14 @@ import (
 
 const goldenDir = "testdata/golden"
 
-// All 8 configurations of the paper's cube must have a committed golden of
-// the right discipline: exact curves for the deterministic synchronous
-// engines, quantile envelopes for the asynchronous ones.
+// All 10 gated configurations — the paper's 8-way cube plus the two
+// parameter-server tiers — must have a committed golden of the right
+// discipline: exact curves for the deterministic synchronous engines,
+// quantile envelopes for the asynchronous ones.
 func TestMatrixFullyCovered(t *testing.T) {
-	configs := DefaultMatrix()
-	if len(configs) != 8 {
-		t.Fatalf("default matrix has %d configs, want the paper's 8", len(configs))
+	configs := FullMatrix()
+	if len(configs) != 10 {
+		t.Fatalf("full matrix has %d configs, want the paper's 8 plus 2 ps tiers", len(configs))
 	}
 	for _, c := range configs {
 		key := c.Fingerprint().Key()
@@ -41,7 +42,7 @@ func TestMatrixFullyCovered(t *testing.T) {
 // The gate must pass on an untouched tree: every engine still reproduces
 // its committed golden or envelope.
 func TestGatePassesOnUntouchedTree(t *testing.T) {
-	rep := Gate(goldenDir, DefaultMatrix())
+	rep := Gate(goldenDir, FullMatrix())
 	for _, r := range rep.Results {
 		if r.Status != StatusPass {
 			t.Errorf("%s: %s (%s)", r.Key, r.Status, r.Detail)
@@ -114,6 +115,68 @@ func TestGoldenRoundTrip(t *testing.T) {
 	}
 	if _, err := Load(dir, "absent"); !os.IsNotExist(err) {
 		t.Fatalf("loading absent golden: err = %v, want IsNotExist", err)
+	}
+}
+
+// A filter token that matches nothing must be an error — a typo like
+// "snyc" must not silently gate an empty (or wrongly shrunken) matrix.
+func TestMatrixFilterRejectsUnmatchedTokens(t *testing.T) {
+	m := FullMatrix()
+	if _, err := (MatrixFilter{Strategies: "sync,snyc"}).Apply(m); err == nil {
+		t.Fatal("strategy token \"snyc\" matched no config but produced no error")
+	}
+	if _, err := (MatrixFilter{Only: "no-such-key"}).Apply(m); err == nil {
+		t.Fatal("-only matching no fingerprint key produced no error")
+	}
+	if _, err := (MatrixFilter{Strategies: "ps-sync", Devices: "gpu"}).Apply(m); err == nil {
+		t.Fatal("impossible strategy x device combination produced no error")
+	}
+}
+
+func TestMatrixFilterSelectsAndOverrides(t *testing.T) {
+	got, err := (MatrixFilter{Strategies: "ps-sync,ps-async", N: 100, Epochs: 3, Threads: 2}).Apply(FullMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ps filter kept %d configs, want 2", len(got))
+	}
+	for _, c := range got {
+		if c.Device != "cluster" || c.N != 100 || c.Epochs != 3 || c.Threads != 2 {
+			t.Fatalf("override not applied: %+v", c)
+		}
+	}
+	got, err = (MatrixFilter{Only: "ps-sync-cluster"}).Apply(FullMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Strategy != "ps-sync" {
+		t.Fatalf("-only substring selected %+v, want the single ps-sync config", got)
+	}
+}
+
+// The ps tier engines must honour the regress seeding and determinism
+// contracts the gate disciplines assume.
+func TestPSMatrixDisciplines(t *testing.T) {
+	for _, c := range PSMatrix() {
+		if (c.Strategy == "ps-sync") != c.Deterministic() {
+			t.Fatalf("%s: Deterministic() = %v", c.Strategy, c.Deterministic())
+		}
+	}
+	c := PSMatrix()[0] // ps-sync: must replay exactly
+	c.Epochs = 3
+	a, err := RunSeed(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSeed(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatalf("ps-sync replay differs at epoch %d: %v vs %v", i, a.Losses[i], b.Losses[i])
+		}
 	}
 }
 
