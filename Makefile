@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke ps-smoke
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke ps-smoke localsgd-smoke
 
 build:
 	$(GO) build ./...
@@ -43,8 +43,9 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
 
-# gate is the convergence regression gate: re-run the 8-engine matrix at
-# seeded gate scale and compare against the committed goldens/envelopes.
+# gate is the convergence regression gate: re-run the full 12-config matrix
+# (the paper's 8-way cube, the ps tiers, the Local-SGD tiers) at seeded gate
+# scale and compare against the committed goldens/envelopes.
 # After an intentional behaviour change, regenerate with gate-update and
 # commit the new testdata.
 gate:
@@ -72,8 +73,9 @@ bench-compare:
 bench-paper:
 	$(GO) run ./cmd/sgdbench -experiment table2,table3 -maxn 1000 -trace run.jsonl -obs
 
-# chaos runs the 8-engine matrix under the storm fault plan on the
-# virtual-time scheduler and writes the degradation report: the paper's
+# chaos runs the 10-config ladder (the paper's 8 engines plus the Local-SGD
+# tier) under the storm fault plan on the virtual-time scheduler and writes
+# the degradation report: the paper's
 # sync-fragile/async-robust contrast as a JSON artifact. Pick other plans
 # with CHAOS_PLAN (see `go run ./cmd/sgdchaos -list`).
 CHAOS_PLAN ?= storm
@@ -120,6 +122,14 @@ span-smoke:
 ps-smoke:
 	$(GO) run ./cmd/sgdps -plan storm -assert-contrast 2 \
 		-out $${PS_TMP:-$$(mktemp -t ps-report.XXXXXX.json)}
+
+# localsgd-smoke is the Local-SGD convergence gate: re-run only the two
+# local configs (local-sync against its 1e-9 golden, local-async against its
+# p10-p90 envelope) and fail on any drift. The report goes to a temp path so
+# the run never dirties the tree.
+localsgd-smoke:
+	$(GO) run ./cmd/sgdgate compare -only local- \
+		-report $${LOCALSGD_TMP:-$$(mktemp -t localsgd-gate.XXXXXX.json)}
 
 # fuzz exercises the input-boundary fuzz targets for a bounded time each.
 # The minimize budget is capped: on a small box, minimizing a multi-KB

@@ -12,7 +12,10 @@
 //     counting-CAS discipline: wall time, coalesced fraction, retry delta;
 //   - steady-state allocation counts of the LR/SVM mini-batch gradient, the
 //     pooled SpMVT, the quantised SpMV, and the striped sequential epoch;
-//   - CSR assembly (Builder.Build) throughput.
+//   - CSR assembly (Builder.Build) throughput;
+//   - the Local-SGD H-sweep frontier: modeled and host epoch time of the
+//     synchronous engine at H ∈ {1,4,16,64} with fixed K, plus the async
+//     engine's (nearly H-flat) makespan for contrast.
 //
 // None of these numbers feed the paper reproduction: modeled device times
 // come from the cost models and are shape-functions only. This suite tracks
@@ -68,6 +71,38 @@ type report struct {
 	Striped    stripedReport   `json:"striped_hogwild"`
 	Allocs     allocsReport    `json:"steady_state_allocs_per_op"`
 	BuildNsOp  int64           `json:"builder_build_ns_op"`
+	LocalSGD   localReport     `json:"localsgd_hsweep"`
+}
+
+// localReport records the Local-SGD H-sweep frontier at fixed replica count:
+// growing H removes reduction rounds from the critical path (the modeled
+// epoch time falls) while the averaged model gets staler between rounds (the
+// final loss drifts up) — the hardware-vs-statistical-efficiency trade the
+// engine family exists to expose. The async engine's makespan is recorded at
+// the same H points for contrast: its timer keeps communication off the
+// critical path, so it is nearly flat in H.
+type localReport struct {
+	Replicas int               `json:"replicas"`
+	Rows     int               `json:"rows"`
+	Epochs   int               `json:"epochs"`
+	Sweep    []localSweepPoint `json:"sweep"`
+	// WallMonotonicDec is 1 when the sync engine's modeled sec/epoch falls
+	// strictly as H grows. It lives here as a flat number, not derived from
+	// the sweep array by the gate, because the bench gate's lookupNumber
+	// resolves dotted paths through objects only.
+	WallMonotonicDec int `json:"wall_monotonic_dec"`
+}
+
+type localSweepPoint struct {
+	H int `json:"h"`
+	// Rounds is the sync engine's averaging rounds per epoch:
+	// ceil(perReplica/H), the quantity the modeled time is linear in.
+	Rounds           int     `json:"rounds"`
+	SyncSecPerEpoch  float64 `json:"sync_modeled_sec_per_epoch"`
+	SyncHostNsEpoch  int64   `json:"sync_host_ns_epoch"`
+	SyncFinalLoss    float64 `json:"sync_final_loss"`
+	AsyncSecPerEpoch float64 `json:"async_modeled_sec_per_epoch"`
+	AsyncFinalLoss   float64 `json:"async_final_loss"`
 }
 
 type dispatchReport struct {
@@ -500,6 +535,64 @@ func benchStriped(n, epochs int) (stripedReport, float64, error) {
 	return rep, allocs, nil
 }
 
+// benchLocal sweeps the Local-SGD engines over H at fixed K on a scaled w8a
+// sample. The modeled times are exact functions of the cost model (no host
+// noise), so the monotonicity flag is machine-independent; the host ns/epoch
+// of the sync engine is best-of-3 wall clock over the same epochs, recorded
+// for the harness-overhead trend only.
+func benchLocal(n, epochs int) (localReport, error) {
+	spec, err := data.Lookup("w8a")
+	if err != nil {
+		return localReport{}, err
+	}
+	ds := data.Generate(spec.Scaled(float64(n) / float64(spec.N)))
+	const replicas = 8
+	rep := localReport{Replicas: replicas, Rows: ds.N(), Epochs: epochs, WallMonotonicDec: 1}
+	perReplica := (ds.N() + replicas - 1) / replicas
+	prev := -1.0
+	for _, h := range []int{1, 4, 16, 64} {
+		pt := localSweepPoint{H: h, Rounds: (perReplica + h - 1) / h}
+
+		m := model.NewLR(ds.D())
+		sync := core.NewLocalSGD(m, ds, 0.5, replicas, h)
+		sync.SetShuffleSeed(42)
+		w := m.InitParams(1)
+		sync.RunEpoch(w) // warm-up: builds replicas, scratches, partitions
+		best := int64(1<<63 - 1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			var modeled float64
+			for e := 0; e < epochs; e++ {
+				modeled += sync.RunEpoch(w)
+			}
+			pt.SyncSecPerEpoch = modeled / float64(epochs)
+			if ns := time.Since(start).Nanoseconds() / int64(epochs); ns < best {
+				best = ns
+			}
+		}
+		pt.SyncHostNsEpoch = best
+		pt.SyncFinalLoss = model.MeanLoss(m, w, ds)
+
+		m = model.NewLR(ds.D())
+		async := core.NewAsyncLocalSGD(m, ds, 0.5, replicas, h)
+		async.SetShuffleSeed(42)
+		w = m.InitParams(1)
+		var modeled float64
+		for e := 0; e < epochs; e++ {
+			modeled += async.RunEpoch(w)
+		}
+		pt.AsyncSecPerEpoch = modeled / float64(epochs)
+		pt.AsyncFinalLoss = model.MeanLoss(m, w, ds)
+
+		rep.Sweep = append(rep.Sweep, pt)
+		if prev > 0 && pt.SyncSecPerEpoch >= prev {
+			rep.WallMonotonicDec = 0
+		}
+		prev = pt.SyncSecPerEpoch
+	}
+	return rep, nil
+}
+
 func measureAllocs(n int) (allocsReport, error) {
 	spec, err := data.Lookup("w8a")
 	if err != nil {
@@ -588,14 +681,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// wall-clock means.
 	quantDim, quantRows, quantNNZ := 1<<19, 2048, 256
 	stripeN, stripeEpochs := 20000, 20
+	localN, localEpochs := 20000, 8
 	if *short {
 		rows, cols, kernels, allocN, buildRows = 10000, 1500, 64, 800, 8000
 		quantRows, stripeN, stripeEpochs = 1024, 8000, 8
+		localN, localEpochs = 8000, 4
 	}
 	if *tiny {
 		rows, cols, kernels, allocN, buildRows = 1500, 400, 8, 300, 1000
 		quantDim, quantRows, quantNNZ = 1<<14, 256, 16
 		stripeN, stripeEpochs = 1000, 2
+		// 1000 rows over 8 replicas is 125 local steps each: the round
+		// counts at H ∈ {1,4,16,64} are 125/32/8/2, still strictly
+		// decreasing, so the monotonicity flag holds even at smoke scale.
+		localN, localEpochs = 1000, 2
 		// testing.Benchmark sizes runs by -test.benchtime; registering the
 		// testing flags (idempotent) lets us shrink it without a test binary.
 		testing.Init()
@@ -638,6 +737,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.Allocs = allocs
 	fmt.Fprintln(stderr, "epochbench: builder build...")
 	rep.BuildNsOp = benchBuild(buildRows, 5000)
+	fmt.Fprintln(stderr, "epochbench: local-sgd h-sweep...")
+	rep.LocalSGD, err = benchLocal(localN, localEpochs)
+	if err != nil {
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -663,6 +768,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Striped.NsOpRatio, rep.Striped.UnstripedNsOp, rep.Striped.StripedNsOp,
 		100*rep.Striped.CoalescedFrac, rep.Striped.CASRetriesUnstriped, rep.Striped.CASRetriesStriped,
 		rep.Allocs.StripedEpoch)
+	fmt.Fprintf(stdout, "local-sgd h-sweep (K=%d):", rep.LocalSGD.Replicas)
+	for _, pt := range rep.LocalSGD.Sweep {
+		fmt.Fprintf(stdout, " H=%d sync %.3g s/epoch (async %.3g)", pt.H, pt.SyncSecPerEpoch, pt.AsyncSecPerEpoch)
+	}
+	fmt.Fprintf(stdout, "; monotonic dec: %d\n", rep.LocalSGD.WallMonotonicDec)
 
 	if *compare != "" {
 		gate, err := regress.CompareBenchFiles(*compare, *out, nil)

@@ -36,6 +36,16 @@ func TestRunTinyReport(t *testing.T) {
 	if rep.Dispatch.PoolNsOp <= 0 || rep.SpMV.BalancedNsOp <= 0 || rep.BuildNsOp <= 0 {
 		t.Errorf("benchmarks did not run: %+v", rep)
 	}
+	// The H-sweep's monotonic flag is a function of the cost model, not the
+	// host, so it must hold even at smoke scale.
+	if len(rep.LocalSGD.Sweep) != 4 || rep.LocalSGD.WallMonotonicDec != 1 {
+		t.Errorf("local-sgd h-sweep broken: %+v", rep.LocalSGD)
+	}
+	for i, pt := range rep.LocalSGD.Sweep {
+		if pt.SyncSecPerEpoch <= 0 || pt.AsyncSecPerEpoch <= 0 || pt.Rounds <= 0 {
+			t.Errorf("sweep point %d did not run: %+v", i, pt)
+		}
+	}
 	// The allocation pins hold at any scale: the steady-state gradient and
 	// dispatch paths are allocation-free by design.
 	if rep.Dispatch.PoolAllocs != 0 || rep.Allocs.LRBatchGrad != 0 {

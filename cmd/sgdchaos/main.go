@@ -14,7 +14,8 @@
 //	         [-maxn 0] [-epochs 0] [-threads 0]
 //	sgdchaos -list
 //
-// By default the full 8-engine matrix runs sequentially under the
+// By default the paper's 8-engine matrix plus the two Local-SGD configs
+// (local-sync/local-async, see internal/core) run sequentially under the
 // virtual-time scheduler, so the report is exactly reproducible for a given
 // -seed. -deadline arms the synchronous engines' straggler mitigation (the
 // barrier fires at deadline x the healthy epoch and the update lands scaled
@@ -53,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tol         = fs.Float64("tol", 0.1, "loss-gap tolerance defining each config's threshold")
 		intensities = fs.String("intensities", "", "comma-separated plan intensity multipliers (default 1)")
 		out         = fs.String("out", "-", "write the report JSON to this path (- = stdout)")
-		strategies  = fs.String("strategies", "", "comma filter on matrix strategies (sync,async)")
+		strategies  = fs.String("strategies", "", "comma filter on matrix strategies (sync,async,local-sync,local-async)")
 		devices     = fs.String("devices", "", "comma filter on matrix devices (cpu-par,gpu)")
 		datasets    = fs.String("datasets", "", "comma filter on matrix datasets (covtype,w8a)")
 		maxN        = fs.Int("maxn", 0, "override per-config example count (0 = matrix default)")
@@ -101,7 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Epochs:     *epochs,
 		Threads:    *threads,
 	}
-	configs, err := filter.Apply(regress.DefaultMatrix())
+	// The ladder covers the paper's 8-way cube plus the Local-SGD tier; the
+	// parameter-server configs have their own chaos path in cmd/sgdps.
+	matrix := append(regress.DefaultMatrix(), regress.LocalMatrix()...)
+	configs, err := filter.Apply(matrix)
 	if err != nil {
 		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)
 		return 2

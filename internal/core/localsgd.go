@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chaos"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// Local-SGD cost-model defaults, in the same abstract work units the
+// parameter-server tier prices with: one local gradient step costs one unit.
+const (
+	// DefaultLocalReduceUnits is the modeled cost of one averaging round —
+	// the allreduce latency of folding K replica vectors into a mean and
+	// broadcasting it back. It is charged once per round regardless of K
+	// (the reduction is itself parallel), which is what makes the rounds/H
+	// trade-off a real frontier: at H=1 the epoch is reduction-dominated,
+	// at large H the local compute dominates.
+	DefaultLocalReduceUnits = 32.0
+	// DefaultLocalSecPerUnit converts work units to modeled seconds
+	// (1 unit ~ one sparse gradient step ~ 1us on the paper machine).
+	DefaultLocalSecPerUnit = 1e-6
+)
+
+// LocalSGDEngine is synchronous Local SGD: K pool-backed replicas each hold a
+// private cache-line-aligned copy of the model, take H local SGD steps on
+// their own shard of the epoch's shuffle, and then barrier-average — the
+// published model becomes the mean of the replica vectors and every replica
+// restarts from it. H=1 degenerates to per-step-averaged mini-batch SGD
+// (maximum statistical efficiency, maximum communication); H = shard length
+// is one-shot averaging (no communication until the epoch ends). Sweeping H
+// walks the hardware-vs-statistical-efficiency frontier between the paper's
+// barriered synchronous engines and free-running Hogwild.
+//
+// Replicas touch only private state between barriers (vector, scratch, shard
+// segment), so the pool-dispatched epoch is bitwise deterministic for a fixed
+// shuffle seed regardless of scheduling — which is why the regress harness
+// gates "local-sync" on an exact golden curve, not an envelope.
+//
+// Under a chaos plan, faults act at round granularity (the natural unit of
+// this engine's communication): a straggling replica delays the whole round —
+// the barrier cannot fire without its contribution, so the round's reduction
+// cost stretches by the straggler factor — and a dropped fate loses the
+// replica's entire H-step contribution for that round (it rejoins from the
+// average, its local work discarded), a duplicated fate double-weights it.
+type LocalSGDEngine struct {
+	Model model.Model
+	Data  *data.Dataset
+	Step  float64
+	// Replicas is K: the number of private model copies stepping in
+	// parallel (clamped to the dataset size on first use).
+	Replicas int
+	// H is the number of local steps each replica takes between averaging
+	// barriers.
+	H int
+	// ReduceUnits prices one averaging round; SecPerUnit converts units to
+	// modeled seconds. Zero values take the package defaults.
+	ReduceUnits float64
+	SecPerUnit  float64
+	// Rec receives per-phase timings (gradient = local steps, update =
+	// reduction rounds, barrier = straggler slack), the update and round
+	// counters, and each replica's share of the epoch's updates.
+	Rec obs.Recorder
+	// Pool overrides the dispatch pool (nil = the shared process pool).
+	Pool *pool.Pool
+	// Chaos, when enabled, injects round-granular faults (see type docs).
+	Chaos *chaos.Controller
+
+	rng     *rand.Rand
+	perm    []int
+	bounds  []int       // replica shard bounds over perm (contiguous, equal±1)
+	reps    [][]float64 // private replica vectors, 64B-aligned
+	scrs    []model.Scratch
+	wgt     []float64 // per-round receive weights under chaos
+	shares  []float64
+	streams []*chaos.Stream
+	stepT   localStepTask
+	reduce  reduceTask
+	bcast   broadcastTask
+}
+
+// NewLocalSGD builds the engine with the default cost model and a
+// deterministic shuffle seed.
+func NewLocalSGD(m model.Model, ds *data.Dataset, step float64, replicas, h int) *LocalSGDEngine {
+	return &LocalSGDEngine{
+		Model:       m,
+		Data:        ds,
+		Step:        step,
+		Replicas:    replicas,
+		H:           h,
+		ReduceUnits: DefaultLocalReduceUnits,
+		SecPerUnit:  DefaultLocalSecPerUnit,
+		rng:         rand.New(rand.NewSource(99)),
+	}
+}
+
+// Name implements Engine.
+func (e *LocalSGDEngine) Name() string {
+	return fmt.Sprintf("local-sync/cpu-par(%d)h%d", e.Replicas, e.H)
+}
+
+// SetShuffleSeed implements Seeded.
+func (e *LocalSGDEngine) SetShuffleSeed(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetRecorder implements Instrumented.
+func (e *LocalSGDEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// SetChaos implements ChaosHost.
+func (e *LocalSGDEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
+func (e *LocalSGDEngine) workerPool() *pool.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return pool.Default()
+}
+
+// prepare builds the replica state once: private aligned vectors sized to
+// the model dimension, per-replica scratches, and the contiguous shard
+// bounds over the permutation (replica r owns perm[bounds[r]:bounds[r+1]],
+// shard lengths differing by at most one).
+func (e *LocalSGDEngine) prepare() {
+	if e.perm != nil {
+		return
+	}
+	n := e.Data.N()
+	if e.Replicas < 1 {
+		e.Replicas = 1
+	}
+	if e.Replicas > n {
+		e.Replicas = n
+	}
+	if e.H < 1 {
+		e.H = 1
+	}
+	if e.ReduceUnits <= 0 {
+		e.ReduceUnits = DefaultLocalReduceUnits
+	}
+	if e.SecPerUnit <= 0 {
+		e.SecPerUnit = DefaultLocalSecPerUnit
+	}
+	e.perm = make([]int, n)
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	k := e.Replicas
+	dim := e.Model.NumParams()
+	e.bounds = make([]int, k+1)
+	e.reps = make([][]float64, k)
+	e.scrs = make([]model.Scratch, k)
+	e.wgt = make([]float64, k)
+	e.shares = make([]float64, k)
+	for r := 0; r < k; r++ {
+		e.bounds[r] = r * n / k
+		e.reps[r] = model.AlignedVec(dim)
+		e.scrs[r] = e.Model.NewScratch()
+	}
+	e.bounds[k] = n
+	for r := 0; r < k; r++ {
+		e.shares[r] = float64(e.bounds[r+1]-e.bounds[r]) / float64(n)
+	}
+}
+
+// segLen is how many local steps replica r takes in the round starting at
+// shard offset off: min(H, remaining shard), never negative.
+func (e *LocalSGDEngine) segLen(r, off int) int {
+	rem := e.bounds[r+1] - e.bounds[r] - off
+	if rem <= 0 {
+		return 0
+	}
+	if rem > e.H {
+		return e.H
+	}
+	return rem
+}
+
+// RunEpoch implements Engine: one pass over a fresh shuffle, in rounds of up
+// to H local steps per replica followed by a barrier average.
+func (e *LocalSGDEngine) RunEpoch(w []float64) float64 {
+	e.prepare()
+	n := len(e.perm)
+	e.rng.Shuffle(n, func(i, j int) { e.perm[i], e.perm[j] = e.perm[j], e.perm[i] })
+	k := e.Replicas
+	p := e.workerPool()
+
+	chaosOn := e.Chaos.Enabled() && e.Chaos.Plan.Active()
+	if chaosOn {
+		in := e.Chaos.Injector()
+		if len(e.streams) < k {
+			e.streams = make([]*chaos.Stream, k)
+		}
+		for r := 0; r < k; r++ {
+			e.streams[r] = in.Worker(r)
+		}
+	}
+
+	// Every replica starts the epoch from the published model.
+	e.bcast = broadcastTask{src: w, reps: e.reps}
+	p.Run(k, k, &e.bcast)
+
+	var gradUnits, reduceUnits, extraUnits float64
+	rounds := 0
+	for off := 0; ; off += e.H {
+		longest := 0
+		for r := 0; r < k; r++ {
+			if s := e.segLen(r, off); s > longest {
+				longest = s
+			}
+		}
+		if longest == 0 {
+			break
+		}
+		// Local phase: each replica advances its private vector on its own
+		// shard segment. Only private state is touched, so pool scheduling
+		// cannot perturb the result.
+		e.stepT = localStepTask{e: e, off: off}
+		p.Run(k, k, &e.stepT)
+		rounds++
+		gradUnits += float64(longest)
+		reduceUnits += e.ReduceUnits
+
+		// Round fates: drawn in replica order on the caller, deterministic.
+		// Idle replicas (exhausted shard) keep weight 1 — they re-submit the
+		// previous average unchanged, which keeps the barrier a true mean.
+		wsum := float64(k)
+		for r := 0; r < k; r++ {
+			e.wgt[r] = 1
+		}
+		if chaosOn {
+			maxCost := 1.0
+			for r := 0; r < k; r++ {
+				if e.segLen(r, off) == 0 {
+					continue
+				}
+				if c := e.streams[r].Cost(); c > maxCost {
+					maxCost = c
+				}
+				switch e.streams[r].Fate() {
+				case chaos.FateDrop:
+					e.wgt[r] = 0
+				case chaos.FateDup:
+					e.wgt[r] = 2
+				}
+			}
+			// The barrier waits for the slowest contribution: the round's
+			// synchronisation cost stretches by the straggler factor.
+			extraUnits += (maxCost - 1) * e.ReduceUnits
+			wsum = 0
+			for r := 0; r < k; r++ {
+				wsum += e.wgt[r]
+			}
+			if wsum == 0 {
+				// Every contribution dropped: no average to publish; the
+				// replicas carry their local progress into the next round.
+				continue
+			}
+		}
+
+		// Barrier average: fold the replicas into the published vector and
+		// broadcast it back. Component-parallel, replica-ordered — bitwise
+		// identical to a serial mean (see reduceTask).
+		e.reduce = reduceTask{dst: w, reps: e.reps, wsum: wsum}
+		if chaosOn {
+			e.reduce.wgt = e.wgt
+		}
+		p.RunGrain(p.Size(), len(w), reduceGrain, &e.reduce)
+		e.bcast = broadcastTask{src: w, reps: e.reps}
+		p.Run(k, k, &e.bcast)
+	}
+
+	e.record(rounds, gradUnits, reduceUnits, extraUnits)
+	return (gradUnits + reduceUnits + extraUnits) * e.SecPerUnit
+}
+
+// record emits the epoch's phase decomposition and counters.
+func (e *LocalSGDEngine) record(rounds int, gradUnits, reduceUnits, extraUnits float64) {
+	if e.Chaos.Enabled() {
+		for r := 0; r < e.Replicas && r < len(e.streams); r++ {
+			if e.streams[r] != nil {
+				e.streams[r].Flush()
+			}
+		}
+		e.Chaos.Drain(e.Rec)
+	}
+	rec := obs.Or(e.Rec)
+	if !obs.Enabled(rec) {
+		return
+	}
+	rec.Phase(obs.PhaseGradient, gradUnits*e.SecPerUnit)
+	rec.Phase(obs.PhaseUpdate, reduceUnits*e.SecPerUnit)
+	if extraUnits > 0 {
+		rec.Phase(obs.PhaseBarrier, extraUnits*e.SecPerUnit)
+	}
+	rec.Add(obs.CounterWorkerUpdates, int64(len(e.perm)))
+	rec.Add(obs.CounterLocalRounds, int64(rounds))
+	for _, s := range e.shares {
+		rec.Observe(obs.MetricWorkerShare, s)
+	}
+}
+
+// localStepTask runs replicas [lo, hi) through one round of local steps.
+// Replica r reads and writes only reps[r]/scrs[r] and its own shard segment.
+type localStepTask struct {
+	e   *LocalSGDEngine
+	off int
+}
+
+func (t *localStepTask) Run(lo, hi int) {
+	e := t.e
+	for r := lo; r < hi; r++ {
+		seg := e.segLen(r, t.off)
+		if seg == 0 {
+			continue
+		}
+		wr := e.reps[r]
+		scr := e.scrs[r]
+		start := e.bounds[r] + t.off
+		for _, i := range e.perm[start : start+seg] {
+			e.Model.SGDStep(wr, e.Data, i, e.Step, model.RawUpdater{}, scr)
+		}
+	}
+}
+
+// reduceGrain sizes the component chunks of the pool-dispatched reduction.
+const reduceGrain = 2048
+
+// reduceTask averages the replica vectors into dst over component ranges:
+// the pool fans the dimension out in chunks, and within each component the
+// replicas are summed in ascending replica order and divided by the weight
+// sum. Because every component is owned by exactly one chunk and the
+// per-component summation order is fixed, the parallel reduction is bitwise
+// identical to the serial mean (asserted by TestLocalReductionMatchesSerialMean)
+// — a pairwise tree over replicas would not be, floating-point addition not
+// being associative.
+//
+// wgt is nil on the healthy path (plain mean over len(reps)); under chaos it
+// carries the round's receive weights (0 dropped, 2 duplicated) with wsum
+// their sum.
+type reduceTask struct {
+	dst  []float64
+	reps [][]float64
+	wgt  []float64
+	wsum float64
+}
+
+func (t *reduceTask) Run(lo, hi int) {
+	if t.wgt == nil {
+		for j := lo; j < hi; j++ {
+			s := 0.0
+			for _, r := range t.reps {
+				s += r[j]
+			}
+			t.dst[j] = s / t.wsum
+		}
+		return
+	}
+	for j := lo; j < hi; j++ {
+		s := 0.0
+		for i, r := range t.reps {
+			if w := t.wgt[i]; w != 0 {
+				s += w * r[j]
+			}
+		}
+		t.dst[j] = s / t.wsum
+	}
+}
+
+// broadcastTask copies the published vector into replicas [lo, hi).
+type broadcastTask struct {
+	src  []float64
+	reps [][]float64
+}
+
+func (t *broadcastTask) Run(lo, hi int) {
+	for r := lo; r < hi; r++ {
+		copy(t.reps[r], t.src)
+	}
+}
+
+var _ Engine = (*LocalSGDEngine)(nil)
+var _ Seeded = (*LocalSGDEngine)(nil)
+var _ Instrumented = (*LocalSGDEngine)(nil)
+var _ ChaosHost = (*LocalSGDEngine)(nil)

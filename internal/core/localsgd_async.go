@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chaos"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// AsyncLocalSGDEngine is asynchronous Local SGD: K replicas free-run over a
+// dynamically claimed shuffle on private cache-line-aligned model copies
+// while a timer worker averages them every ~H virtual time units and
+// publishes the mean; each replica adopts the latest published average at
+// its next step and continues from it. No replica ever blocks on the
+// aggregation — the timer's reduce cost stays off the compute critical path,
+// which is exactly the asymmetry against the barriered LocalSGDEngine that
+// the chaos tests measure (a straggler delays only its own contribution, not
+// the round).
+//
+// The whole epoch executes on a pool.Sequencer (a seeded virtual-time
+// cooperative scheduler), so the racy-looking interleaving of replica steps
+// and timer firings is a pure function of the shuffle seed: two runs with
+// the same seed replay bitwise-identical loss curves, under the race
+// detector, on any host. That determinism is per seed, not per engine — the
+// regress harness still gates "local-async" on a quantile envelope because
+// distinct seeds draw genuinely different schedules.
+//
+// Staleness accounting: at each timer firing the aggregator sums, over
+// replicas, the local steps taken since the replica last adopted a published
+// average (CounterLocalStalenessSum); the firing count is
+// CounterLocalRounds. Larger H buys fewer reductions at more drift —
+// the statistical half of the frontier cmd/epochbench sweeps.
+type AsyncLocalSGDEngine struct {
+	Model model.Model
+	Data  *data.Dataset
+	Step  float64
+	// Replicas is K (clamped to the dataset size on first use).
+	Replicas int
+	// H is the aggregation interval in virtual work units: the timer fires
+	// every H + ReduceUnits units, during which an unhindered replica takes
+	// about that many unit-cost local steps.
+	H int
+	// ReduceUnits prices one timer aggregation; SecPerUnit converts the
+	// virtual-time makespan to modeled seconds. Zero values take the
+	// package defaults.
+	ReduceUnits float64
+	SecPerUnit  float64
+	// Rec receives phase timings, update/round/staleness counters and
+	// per-replica claim shares.
+	Rec obs.Recorder
+	// Pool dispatches the final (post-schedule) reduction (nil = shared
+	// process pool); the epoch itself runs on a private Sequencer.
+	Pool *pool.Pool
+	// Chaos, when enabled, injects per-step fates and straggler costs into
+	// the replica streams; a straggler simply claims fewer examples.
+	Chaos *chaos.Controller
+
+	rng        *rand.Rand
+	perm       []int
+	reps       [][]float64
+	scrs       []model.Scratch
+	caps       []captureUpdater
+	pub        []float64
+	stepsSince []int
+	claims     []int64
+	shares     []float64
+	reduce     reduceTask
+}
+
+// NewAsyncLocalSGD builds the engine with the default cost model and a
+// deterministic shuffle seed.
+func NewAsyncLocalSGD(m model.Model, ds *data.Dataset, step float64, replicas, h int) *AsyncLocalSGDEngine {
+	return &AsyncLocalSGDEngine{
+		Model:       m,
+		Data:        ds,
+		Step:        step,
+		Replicas:    replicas,
+		H:           h,
+		ReduceUnits: DefaultLocalReduceUnits,
+		SecPerUnit:  DefaultLocalSecPerUnit,
+		rng:         rand.New(rand.NewSource(99)),
+	}
+}
+
+// Name implements Engine.
+func (e *AsyncLocalSGDEngine) Name() string {
+	return fmt.Sprintf("local-async/cpu-par(%d)h%d", e.Replicas, e.H)
+}
+
+// SetShuffleSeed implements Seeded.
+func (e *AsyncLocalSGDEngine) SetShuffleSeed(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetRecorder implements Instrumented.
+func (e *AsyncLocalSGDEngine) SetRecorder(r obs.Recorder) { e.Rec = r }
+
+// SetChaos implements ChaosHost.
+func (e *AsyncLocalSGDEngine) SetChaos(c *chaos.Controller) { e.Chaos = c }
+
+func (e *AsyncLocalSGDEngine) workerPool() *pool.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return pool.Default()
+}
+
+func (e *AsyncLocalSGDEngine) prepare() {
+	if e.perm != nil {
+		return
+	}
+	n := e.Data.N()
+	if e.Replicas < 1 {
+		e.Replicas = 1
+	}
+	if e.Replicas > n {
+		e.Replicas = n
+	}
+	if e.H < 1 {
+		e.H = 1
+	}
+	if e.ReduceUnits <= 0 {
+		e.ReduceUnits = DefaultLocalReduceUnits
+	}
+	if e.SecPerUnit <= 0 {
+		e.SecPerUnit = DefaultLocalSecPerUnit
+	}
+	e.perm = make([]int, n)
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	k := e.Replicas
+	dim := e.Model.NumParams()
+	e.reps = make([][]float64, k)
+	e.scrs = make([]model.Scratch, k)
+	e.caps = make([]captureUpdater, k)
+	e.pub = model.AlignedVec(dim)
+	e.stepsSince = make([]int, k)
+	e.claims = make([]int64, k)
+	e.shares = make([]float64, k)
+	for r := 0; r < k; r++ {
+		e.reps[r] = model.AlignedVec(dim)
+	}
+	for r := 0; r < k; r++ {
+		e.scrs[r] = e.Model.NewScratch()
+	}
+}
+
+// RunEpoch implements Engine: one pass over a fresh shuffle under the
+// virtual-time schedule, aggregating on the timer. Returns the schedule
+// makespan in modeled seconds.
+func (e *AsyncLocalSGDEngine) RunEpoch(w []float64) float64 {
+	e.prepare()
+	n := len(e.perm)
+	e.rng.Shuffle(n, func(i, j int) { e.perm[i], e.perm[j] = e.perm[j], e.perm[i] })
+	// The scheduler's tie-break seed advances with the shuffle stream: each
+	// epoch (and each harness seed) draws a fresh, replayable interleaving.
+	seqSeed := e.rng.Int63()
+	k := e.Replicas
+
+	chaosOn := e.Chaos.Enabled() && e.Chaos.Plan.Active()
+	var streams []*chaos.Stream
+	if chaosOn {
+		in := e.Chaos.Injector()
+		streams = make([]*chaos.Stream, k)
+		for r := 0; r < k; r++ {
+			streams[r] = in.Worker(r)
+		}
+	}
+
+	copy(e.pub, w)
+	for r := 0; r < k; r++ {
+		copy(e.reps[r], w)
+		e.stepsSince[r] = 0
+		e.claims[r] = 0
+	}
+
+	// All shared mutable state below (next, version, replicasDone, the
+	// replica vectors, pub) is serialised by the Sequencer's resume/park
+	// handshake: at most one worker body runs at any moment, with
+	// happens-before edges between consecutive turns.
+	next := 0
+	version := 0
+	replicasDone := 0
+	rounds := 0
+	var stalenessSum int64
+
+	s := pool.NewSequencer(seqSeed)
+	for r := 0; r < k; r++ {
+		r := r
+		s.Go(func(t *pool.Turn) {
+			wr := e.reps[r]
+			scr := e.scrs[r]
+			capt := &e.caps[r]
+			var stream *chaos.Stream
+			if chaosOn {
+				stream = streams[r]
+			}
+			basis := 0
+			for {
+				if basis < version {
+					// Adopt the latest published average and continue from it.
+					copy(wr, e.pub)
+					basis = version
+					e.stepsSince[r] = 0
+				}
+				if next >= n {
+					break
+				}
+				i := e.perm[next]
+				next++
+				e.claims[r]++
+				cost := 1.0
+				fate := chaos.FateApply
+				if stream != nil {
+					fate = stream.Fate()
+					cost = stream.Cost()
+				}
+				capt.idx = capt.idx[:0]
+				capt.delta = capt.delta[:0]
+				e.Model.SGDStep(wr, e.Data, i, e.Step, capt, scr)
+				applyFate(fate, model.RawUpdater{}, wr, capt)
+				e.stepsSince[r]++
+				t.Tick(cost)
+			}
+			replicasDone++
+		})
+	}
+	// The timer: fire every H + ReduceUnits virtual units, average the
+	// replica vectors into the published model, bump the version. Replicas
+	// never wait on it — they adopt the new average lazily at their next
+	// step.
+	s.Go(func(t *pool.Turn) {
+		period := float64(e.H) + e.ReduceUnits
+		for replicasDone < k {
+			t.Tick(period)
+			if replicasDone == k {
+				break
+			}
+			for r := 0; r < k; r++ {
+				stalenessSum += int64(e.stepsSince[r])
+			}
+			e.serialMeanInto(e.pub)
+			version++
+			rounds++
+		}
+	})
+	s.Run()
+
+	// Epoch result: the mean of the replica trajectories, folded with the
+	// same component-parallel replica-ordered reduction the sync engine
+	// uses (the schedule has ended; the pool is free).
+	e.reduce = reduceTask{dst: w, reps: e.reps, wsum: float64(k)}
+	p := e.workerPool()
+	p.RunGrain(p.Size(), len(w), reduceGrain, &e.reduce)
+
+	makespan := s.Makespan()
+	sec := makespan * e.SecPerUnit
+	e.record(n, rounds, stalenessSum, makespan, chaosOn, streams)
+	return sec
+}
+
+// serialMeanInto folds the replica vectors into dst as a plain serial mean.
+// It runs inside the aggregator's turn, where dispatching on the shared pool
+// would interleave real goroutines with the sequenced schedule; at gate-scale
+// dimensions the serial fold is cheap, and it is trivially the reduction the
+// parallel reduceTask must match bitwise.
+func (e *AsyncLocalSGDEngine) serialMeanInto(dst []float64) {
+	k := float64(len(e.reps))
+	for j := range dst {
+		s := 0.0
+		for _, r := range e.reps {
+			s += r[j]
+		}
+		dst[j] = s / k
+	}
+}
+
+// record emits the epoch's phases and counters: gradient = the balanced
+// compute share, update = the timer's aggregation work, barrier = the
+// remaining makespan (claim imbalance and straggler overhang).
+func (e *AsyncLocalSGDEngine) record(n, rounds int, stalenessSum int64, makespan float64, chaosOn bool, streams []*chaos.Stream) {
+	if chaosOn {
+		for _, s := range streams {
+			s.Flush()
+		}
+	}
+	if e.Chaos.Enabled() {
+		e.Chaos.Drain(e.Rec)
+	}
+	rec := obs.Or(e.Rec)
+	if !obs.Enabled(rec) {
+		return
+	}
+	grad := float64(n) / float64(e.Replicas) * e.SecPerUnit
+	upd := float64(rounds) * e.ReduceUnits * e.SecPerUnit
+	rec.Phase(obs.PhaseGradient, grad)
+	rec.Phase(obs.PhaseUpdate, upd)
+	if rest := makespan*e.SecPerUnit - grad - upd; rest > 0 {
+		rec.Phase(obs.PhaseBarrier, rest)
+	}
+	rec.Add(obs.CounterWorkerUpdates, int64(n))
+	rec.Add(obs.CounterLocalRounds, int64(rounds))
+	rec.Add(obs.CounterLocalStalenessSum, stalenessSum)
+	for r := 0; r < e.Replicas; r++ {
+		e.shares[r] = float64(e.claims[r]) / float64(n)
+		rec.Observe(obs.MetricWorkerShare, e.shares[r])
+	}
+}
+
+var _ Engine = (*AsyncLocalSGDEngine)(nil)
+var _ Seeded = (*AsyncLocalSGDEngine)(nil)
+var _ Instrumented = (*AsyncLocalSGDEngine)(nil)
+var _ ChaosHost = (*AsyncLocalSGDEngine)(nil)

@@ -167,6 +167,16 @@ const (
 	// advanced between pull and apply) over applied pushes;
 	// CounterPSStalenessSum / CounterPSPushes is the mean gradient staleness.
 	CounterPSStalenessSum
+	// CounterLocalRounds counts averaging rounds executed by the Local-SGD
+	// family (internal/core LocalSGDEngine / AsyncLocalSGDEngine): barrier
+	// reductions in sync mode, timer firings in async mode.
+	CounterLocalRounds
+	// CounterLocalStalenessSum accumulates, over the async Local-SGD timer's
+	// firings, the local steps each replica had taken since it last adopted
+	// a published average — the drift the aggregation folds back in;
+	// CounterLocalStalenessSum / CounterLocalRounds is the mean per-round
+	// drift across the replica set.
+	CounterLocalStalenessSum
 	numCounters
 )
 
@@ -227,6 +237,10 @@ func (c Counter) String() string {
 		return "ps_stale_pushes"
 	case CounterPSStalenessSum:
 		return "ps_staleness_sum"
+	case CounterLocalRounds:
+		return "local_rounds"
+	case CounterLocalStalenessSum:
+		return "local_staleness_sum"
 	}
 	return "unknown"
 }

@@ -82,6 +82,13 @@ func DefaultBenchRules() []BenchRule {
 		{Metric: "striped_hogwild.coalesced_frac", Kind: RuleMin, Value: 0.05},
 		{Metric: "striped_hogwild.ns_op_ratio", Kind: RuleMax, Value: 1.4},
 		{Metric: "steady_state_allocs_per_op.striped_epoch", Kind: RuleExact, Value: 0},
+		// Local-SGD H-sweep (PR 9): at fixed K the sync engine's modeled
+		// epoch time must fall strictly as H grows — growing H removes
+		// reduction rounds from the critical path, and losing that trend
+		// means the cost accounting broke. Modeled time is an exact function
+		// of the cost model, so the flag is machine-independent and gated
+		// exactly at every size class.
+		{Metric: "localsgd_hsweep.wall_monotonic_dec", Kind: RuleExact, Value: 1},
 		// Wall-clock regressions, ratio vs baseline on comparable runs.
 		{Metric: "small_kernel_epoch.pool_ns_op", Kind: RuleRatio, Value: 2.0},
 		{Metric: "spmv.balanced_ns_op", Kind: RuleRatio, Value: 2.0},

@@ -20,7 +20,8 @@ func benchJSON(short bool, poolAllocs int, speedup, skew float64, poolNs int) []
 			"coalesced_frac": 0.38, "cas_retry_ratio": 0},
 		"steady_state_allocs_per_op": {"lr_batchgrad": 0, "svm_batchgrad": 0, "spmvt": 0,
 			"quant_spmv": 0, "striped_epoch": 0},
-		"builder_build_ns_op": 9000000
+		"builder_build_ns_op": 9000000,
+		"localsgd_hsweep": {"replicas": 8, "wall_monotonic_dec": 1}
 	}`, short, poolNs, speedup, poolAllocs, skew, skew)
 }
 

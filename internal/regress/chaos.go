@@ -218,7 +218,9 @@ func abs(x float64) float64 {
 
 // isSyncStrategy classifies a strategy for the contrast summary. Explicit
 // equality, not a suffix test: strings.HasSuffix("async", "sync") is true.
-func isSyncStrategy(s string) bool { return s == "sync" || s == "ps-sync" }
+func isSyncStrategy(s string) bool {
+	return s == "sync" || s == "ps-sync" || s == "local-sync"
+}
 
 // Degradation runs the whole config set under the plan and summarises the
 // sync/async contrast at nominal intensity.

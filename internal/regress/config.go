@@ -37,11 +37,13 @@ import (
 // tuning knobs are invalid; build configs with DefaultMatrix or fill every
 // field.
 type Config struct {
-	// Strategy is "sync" or "async" for the in-process engines, or
-	// "ps-sync" / "ps-async" for the sharded parameter-server tier.
+	// Strategy is "sync" or "async" for the in-process engines,
+	// "ps-sync" / "ps-async" for the sharded parameter-server tier, or
+	// "local-sync" / "local-async" for the Local-SGD replica family.
 	Strategy string `json:"strategy"`
 	// Device is "cpu-seq", "cpu-par" or "gpu"; the ps strategies run on
-	// "cluster" (N workers pulling/pushing against a sharded server).
+	// "cluster" (N workers pulling/pushing against a sharded server) and
+	// the local strategies on "cpu-par" (Threads = replica count).
 	Device string `json:"device"`
 	// Task is the model: "lr" or "svm" (the dense/sparse axis comes from
 	// the dataset).
@@ -54,6 +56,10 @@ type Config struct {
 	Threads int `json:"threads"`
 	// Shards is the parameter-server shard count (cluster device only).
 	Shards int `json:"shards,omitempty"`
+	// H is the Local-SGD averaging granularity (local strategies only):
+	// local steps per barrier round for local-sync, the timer's virtual-
+	// time aggregation interval for local-async.
+	H int `json:"h,omitempty"`
 	// Step is the SGD step size.
 	Step float64 `json:"step"`
 	// Epochs is how many engine epochs the gate runs (the recorded curve
@@ -69,12 +75,16 @@ type Config struct {
 // Deterministic reports whether the config is gated on an exact golden
 // curve rather than a quantile envelope. Synchronous engines compute
 // identical updates on every backend (the ViennaCL property, asserted
-// bitwise by the core tests) and the barriered ps tier drives its workers
-// in a fixed order; every asynchronous engine is gated statistically,
-// because with enough host cores its races are real. Note the explicit
-// equality — strings.HasSuffix would also match "async"/"ps-async".
+// bitwise by the core tests), the barriered ps tier drives its workers in a
+// fixed order, and barriered Local SGD advances only private replica state
+// between its averaging rounds; every asynchronous engine is gated
+// statistically, because with enough host cores its races are real
+// (local-async replays exactly per seed but draws a fresh schedule per
+// seed, so its multi-seed envelope is the meaningful gate). Note the
+// explicit equality — strings.HasSuffix would also match
+// "async"/"ps-async"/"local-async".
 func (c Config) Deterministic() bool {
-	return c.Strategy == "sync" || c.Strategy == "ps-sync"
+	return c.Strategy == "sync" || c.Strategy == "ps-sync" || c.Strategy == "local-sync"
 }
 
 // Fingerprint returns the golden-file key for this config.
@@ -92,10 +102,15 @@ func (c Config) Fingerprint() core.Fingerprint {
 // deviceName renders the device axis the way Engine.Name does, so the
 // fingerprint matches what an attached recorder would report.
 func (c Config) deviceName() string {
-	switch c.Device {
-	case "cpu-par":
+	switch {
+	case c.Strategy == "local-sync" || c.Strategy == "local-async":
+		// The Local-SGD engines render replica count and averaging
+		// granularity (see LocalSGDEngine.Name), both of which change the
+		// gated curve.
+		return fmt.Sprintf("cpu-par(%d)h%d", c.Threads, c.H)
+	case c.Device == "cpu-par":
 		return fmt.Sprintf("cpu-par(%d)", c.Threads)
-	case "cluster":
+	case c.Device == "cluster":
 		return fmt.Sprintf("cluster(s%dw%d)", c.Shards, c.Threads)
 	default:
 		return c.Device
@@ -158,6 +173,17 @@ func (c Config) Build() (core.Engine, model.Model, *data.Dataset, error) {
 			mode = ps.ModeAsync
 		}
 		return ps.NewEngine(mode, m, ds, c.Step, c.Threads, c.Shards), m, ds, nil
+	case "local-sync", "local-async":
+		if c.Device != "cpu-par" {
+			return nil, nil, nil, fmt.Errorf("regress: strategy %q requires the cpu-par device, got %q", c.Strategy, c.Device)
+		}
+		if c.H <= 0 {
+			return nil, nil, nil, fmt.Errorf("regress: strategy %q requires H > 0", c.Strategy)
+		}
+		if c.Strategy == "local-sync" {
+			return core.NewLocalSGD(m, ds, c.Step, c.Threads, c.H), m, ds, nil
+		}
+		return core.NewAsyncLocalSGD(m, ds, c.Step, c.Threads, c.H), m, ds, nil
 	default:
 		return nil, nil, nil, fmt.Errorf("regress: unknown strategy %q", c.Strategy)
 	}
@@ -243,8 +269,40 @@ func PSMatrix() []Config {
 	return out
 }
 
-// FullMatrix is every gated configuration: the paper's in-process cube plus
-// the parameter-server tier.
+// LocalMatrix is the Local-SGD family at gate scale: 8 replicas averaging
+// every H=4 local steps, the communication-efficient middle ground between
+// the per-epoch-barriered sync engines and free-running Hogwild. w8a keeps
+// the replica steps sparse (the regime where private-copy averaging differs
+// most visibly from shared-vector racing). local-sync is deterministic
+// (private state between barriers) and gated on an exact golden; local-async
+// replays per seed but reschedules across seeds, so it carries an envelope.
+func LocalMatrix() []Config {
+	var out []Config
+	for _, strategy := range []string{"local-sync", "local-async"} {
+		c := Config{
+			Strategy: strategy,
+			Device:   "cpu-par",
+			Task:     "lr",
+			Dataset:  "w8a",
+			N:        400,
+			Threads:  8, // replicas
+			H:        4,
+			Step:     0.5,
+			Epochs:   12,
+			Seeds:    5,
+			BaseSeed: 1,
+		}
+		if strategy == "local-sync" {
+			c.Seeds = 1
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FullMatrix is every gated configuration: the paper's in-process cube, the
+// parameter-server tier, and the Local-SGD family.
 func FullMatrix() []Config {
-	return append(DefaultMatrix(), PSMatrix()...)
+	out := append(DefaultMatrix(), PSMatrix()...)
+	return append(out, LocalMatrix()...)
 }

@@ -2,6 +2,7 @@ package regress
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -54,7 +55,8 @@ func (f MatrixFilter) Apply(configs []Config) ([]Config, error) {
 				}
 			}
 			if !found {
-				return nil, fmt.Errorf("regress: %s filter token %q matches no configuration in the matrix", ax.name, tok)
+				return nil, fmt.Errorf("regress: %s filter token %q matches no configuration in the matrix (valid: %s)",
+					ax.name, tok, distinctValues(configs, ax.get))
 			}
 			allow[i][tok] = true
 		}
@@ -83,9 +85,30 @@ func (f MatrixFilter) Apply(configs []Config) ([]Config, error) {
 	}
 	if len(out) == 0 {
 		if f.Only != "" {
-			return nil, fmt.Errorf("regress: -only %q matches no configuration in the matrix", f.Only)
+			return nil, fmt.Errorf("regress: -only %q matches no configuration in the matrix (keys: %s)",
+				f.Only, distinctValues(configs, func(c Config) string { return c.Fingerprint().Key() }))
 		}
-		return nil, fmt.Errorf("regress: the filters selected no configurations")
+		return nil, fmt.Errorf("regress: the filters selected no configurations (strategies: %s; devices: %s; datasets: %s)",
+			distinctValues(configs, func(c Config) string { return c.Strategy }),
+			distinctValues(configs, func(c Config) string { return c.Device }),
+			distinctValues(configs, func(c Config) string { return c.Dataset }))
 	}
 	return out, nil
+}
+
+// distinctValues renders the sorted distinct values of one config axis —
+// the "did you mean" half of the filter errors, so a typo like
+// -strategies=snyc or -only=local-snc shows what the matrix actually
+// contains instead of leaving the caller to read the source.
+func distinctValues(configs []Config, get func(Config) string) string {
+	seen := map[string]bool{}
+	var vals []string
+	for _, c := range configs {
+		if v := get(c); !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sort.Strings(vals)
+	return strings.Join(vals, ", ")
 }
