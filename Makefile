@@ -5,7 +5,7 @@ GO ?= go
 # reference, not a file to overwrite).
 BENCH_OUT ?= BENCH_epoch.json
 
-.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke ps-smoke localsgd-smoke
+.PHONY: build test check lint cover bench bench-compare bench-paper gate gate-update chaos fuzz mdcheck serve-smoke quant-smoke span-smoke ps-smoke localsgd-smoke hetero-smoke
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,10 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
 
-# gate is the convergence regression gate: re-run the full 12-config matrix
-# (the paper's 8-way cube, the ps tiers, the Local-SGD tiers) at seeded gate
-# scale and compare against the committed goldens/envelopes.
+# gate is the convergence regression gate: re-run the full 14-config matrix
+# (the paper's 8-way cube, the ps tiers, the Local-SGD tiers, the
+# heterogeneous CPU+GPU tiers) at seeded gate scale and compare against the
+# committed goldens/envelopes.
 # After an intentional behaviour change, regenerate with gate-update and
 # commit the new testdata.
 gate:
@@ -73,9 +74,9 @@ bench-compare:
 bench-paper:
 	$(GO) run ./cmd/sgdbench -experiment table2,table3 -maxn 1000 -trace run.jsonl -obs
 
-# chaos runs the 10-config ladder (the paper's 8 engines plus the Local-SGD
-# tier) under the storm fault plan on the virtual-time scheduler and writes
-# the degradation report: the paper's
+# chaos runs the 12-config ladder (the paper's 8 engines plus the Local-SGD
+# and heterogeneous CPU+GPU tiers) under the storm fault plan on the
+# virtual-time scheduler and writes the degradation report: the paper's
 # sync-fragile/async-robust contrast as a JSON artifact. Pick other plans
 # with CHAOS_PLAN (see `go run ./cmd/sgdchaos -list`).
 CHAOS_PLAN ?= storm
@@ -130,6 +131,14 @@ ps-smoke:
 localsgd-smoke:
 	$(GO) run ./cmd/sgdgate compare -only local- \
 		-report $${LOCALSGD_TMP:-$$(mktemp -t localsgd-gate.XXXXXX.json)}
+
+# hetero-smoke is the heterogeneous CPU+GPU convergence gate: re-run only the
+# two hetero configs (hetero-sync against its 1e-9 golden, hetero-async
+# against its p10-p90 envelope) and fail on any drift. The report goes to a
+# temp path so the run never dirties the tree.
+hetero-smoke:
+	$(GO) run ./cmd/sgdgate compare -only hetero- \
+		-report $${HETERO_TMP:-$$(mktemp -t hetero-gate.XXXXXX.json)}
 
 # fuzz exercises the input-boundary fuzz targets for a bounded time each.
 # The minimize budget is capped: on a small box, minimizing a multi-KB

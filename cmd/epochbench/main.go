@@ -15,7 +15,12 @@
 //   - CSR assembly (Builder.Build) throughput;
 //   - the Local-SGD H-sweep frontier: modeled and host epoch time of the
 //     synchronous engine at H ∈ {1,4,16,64} with fixed K, plus the async
-//     engine's (nearly H-flat) makespan for contrast.
+//     engine's (nearly H-flat) makespan for contrast;
+//   - the heterogeneous split-ratio sweep: the CPU+GPU co-training engine's
+//     adaptive split at fixed throughput skews (GPUStretch multiplying the
+//     modeled GPU epoch time), recording how many epochs the EWMA estimator
+//     needs to move the realised GPU batch fraction and whether the adapted
+//     split beats a static 50/50 at the same skew.
 //
 // None of these numbers feed the paper reproduction: modeled device times
 // come from the cost models and are shape-functions only. This suite tracks
@@ -41,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -72,6 +78,7 @@ type report struct {
 	Allocs     allocsReport    `json:"steady_state_allocs_per_op"`
 	BuildNsOp  int64           `json:"builder_build_ns_op"`
 	LocalSGD   localReport     `json:"localsgd_hsweep"`
+	Hetero     heteroReport    `json:"hetero_split"`
 }
 
 // localReport records the Local-SGD H-sweep frontier at fixed replica count:
@@ -103,6 +110,43 @@ type localSweepPoint struct {
 	SyncFinalLoss    float64 `json:"sync_final_loss"`
 	AsyncSecPerEpoch float64 `json:"async_modeled_sec_per_epoch"`
 	AsyncFinalLoss   float64 `json:"async_final_loss"`
+}
+
+// heteroReport records the heterogeneous engine's split-ratio convergence at
+// fixed throughput skews. Every number is a modeled quantity — an exact
+// function of the cost model and the seed, with no host noise — so the two
+// flags are machine-independent and gated exactly at every size class.
+type heteroReport struct {
+	CPUWorkers int                `json:"cpu_workers"`
+	Rows       int                `json:"rows"`
+	Epochs     int                `json:"epochs"`
+	Sweep      []heteroSweepPoint `json:"sweep"`
+	// AdaptiveBeatsStatic is 1 when, at the strongest skew in the sweep, the
+	// adapted split's final modeled epoch time beats the static 50/50 split
+	// under the same skew. ShiftWithin5 is 1 when the same point moved the
+	// realised GPU batch fraction by >= 0.20 within 5 epochs — the
+	// rebalancing bound DESIGN.md §17 promises. Both live here as flat
+	// numbers, not derived from the sweep array by the gate, because the
+	// bench gate's lookupNumber resolves dotted paths through objects only.
+	AdaptiveBeatsStatic int `json:"adaptive_beats_static"`
+	ShiftWithin5        int `json:"shift_within_5"`
+}
+
+type heteroSweepPoint struct {
+	// GPUStretch multiplies the modeled GPU epoch time (1 = healthy,
+	// >1 = a chaos-free stand-in for a straggling device).
+	GPUStretch float64 `json:"gpu_stretch"`
+	// StartGPUFrac/FinalGPUFrac are the realised GPU batch fractions of the
+	// first and last epoch; ShiftEpochs is the first epoch (1-based) whose
+	// fraction moved >= 0.20 from the start, -1 if it never did.
+	StartGPUFrac float64 `json:"start_gpu_frac"`
+	FinalGPUFrac float64 `json:"final_gpu_frac"`
+	ShiftEpochs  int     `json:"shift_epochs"`
+	// AdaptiveSecPerEpoch is the adapted split's final-epoch modeled time;
+	// StaticSecPerEpoch the static 50/50 engine's mean over the same epochs.
+	AdaptiveSecPerEpoch float64 `json:"adaptive_modeled_sec_per_epoch"`
+	StaticSecPerEpoch   float64 `json:"static_modeled_sec_per_epoch"`
+	FinalLoss           float64 `json:"final_loss"`
 }
 
 type dispatchReport struct {
@@ -593,6 +637,76 @@ func benchLocal(n, epochs int) (localReport, error) {
 	return rep, nil
 }
 
+// benchHetero sweeps the heterogeneous engine's adaptive split over GPU
+// throughput skews on a scaled w8a sample. GPUStretch is the engine's
+// chaos-free skew knob: at 1 the GPU is the faster backend and the estimator
+// drifts GPU-heavy; at the strongest skew the stretched device floors on its
+// kernel-launch cost and the estimator must shed batches to the CPU pool.
+// The flags gate the strongest-skew point only — the intermediate point maps
+// the frontier but sits near the crossover where neither backend dominates.
+func benchHetero(n, epochs int) (heteroReport, error) {
+	spec, err := data.Lookup("w8a")
+	if err != nil {
+		return heteroReport{}, err
+	}
+	ds := data.Generate(spec.Scaled(float64(n) / float64(spec.N)))
+	const cpuWorkers = 8
+	rep := heteroReport{
+		CPUWorkers:          cpuWorkers,
+		Rows:                ds.N(),
+		Epochs:              epochs,
+		AdaptiveBeatsStatic: 1,
+		ShiftWithin5:        1,
+	}
+	stretches := []float64{1, 4, 10}
+	for _, stretch := range stretches {
+		pt := heteroSweepPoint{GPUStretch: stretch, ShiftEpochs: -1}
+
+		m := model.NewLR(ds.D())
+		ad := core.NewHetero(m, ds, 0.5, cpuWorkers)
+		ad.GPUStretch = stretch
+		ad.SetShuffleSeed(42)
+		w := m.InitParams(1)
+		var lastSec float64
+		for e := 0; e < epochs; e++ {
+			lastSec = ad.RunEpoch(w)
+			cb, gb := ad.LastSplit()
+			frac := float64(gb) / float64(cb+gb)
+			if e == 0 {
+				pt.StartGPUFrac = frac
+			} else if pt.ShiftEpochs < 0 && math.Abs(frac-pt.StartGPUFrac) >= 0.20 {
+				pt.ShiftEpochs = e + 1
+			}
+			pt.FinalGPUFrac = frac
+		}
+		pt.AdaptiveSecPerEpoch = lastSec
+		pt.FinalLoss = model.MeanLoss(m, w, ds)
+
+		m = model.NewLR(ds.D())
+		st := core.NewHetero(m, ds, 0.5, cpuWorkers)
+		st.GPUStretch = stretch
+		st.FixedGPUShare = 0.5
+		st.SetShuffleSeed(42)
+		w = m.InitParams(1)
+		var modeled float64
+		for e := 0; e < epochs; e++ {
+			modeled += st.RunEpoch(w)
+		}
+		pt.StaticSecPerEpoch = modeled / float64(epochs)
+
+		rep.Sweep = append(rep.Sweep, pt)
+		if stretch == stretches[len(stretches)-1] {
+			if pt.ShiftEpochs < 0 || pt.ShiftEpochs > 5 {
+				rep.ShiftWithin5 = 0
+			}
+			if pt.AdaptiveSecPerEpoch >= pt.StaticSecPerEpoch {
+				rep.AdaptiveBeatsStatic = 0
+			}
+		}
+	}
+	return rep, nil
+}
+
 func measureAllocs(n int) (allocsReport, error) {
 	spec, err := data.Lookup("w8a")
 	if err != nil {
@@ -682,6 +796,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quantDim, quantRows, quantNNZ := 1<<19, 2048, 256
 	stripeN, stripeEpochs := 20000, 20
 	localN, localEpochs := 20000, 8
+	// The hetero sweep does not scale with the size class: its numbers are
+	// pure cost-model shapes, and the stretch needed to overpower the GPU
+	// grows with n as the kernel-launch cost amortises — so the flags are only
+	// scale-independent at a fixed n. It runs at the regress gate scale
+	// (n=400, the HeteroMatrix configs) everywhere; it is cheap enough that
+	// even -tiny keeps it, shrinking only the epoch count.
+	heteroN, heteroEpochs := 400, 8
 	if *short {
 		rows, cols, kernels, allocN, buildRows = 10000, 1500, 64, 800, 8000
 		quantRows, stripeN, stripeEpochs = 1024, 8000, 8
@@ -695,6 +816,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// counts at H ∈ {1,4,16,64} are 125/32/8/2, still strictly
 		// decreasing, so the monotonicity flag holds even at smoke scale.
 		localN, localEpochs = 1000, 2
+		// The hetero flags need a couple of adaptation epochs past the shift
+		// window, so the epoch count shrinks less than the rest.
+		heteroEpochs = 6
 		// testing.Benchmark sizes runs by -test.benchtime; registering the
 		// testing flags (idempotent) lets us shrink it without a test binary.
 		testing.Init()
@@ -743,6 +867,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "epochbench:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "epochbench: hetero split-ratio sweep...")
+	rep.Hetero, err = benchHetero(heteroN, heteroEpochs)
+	if err != nil {
+		fmt.Fprintln(stderr, "epochbench:", err)
+		return 1
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -773,6 +903,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, " H=%d sync %.3g s/epoch (async %.3g)", pt.H, pt.SyncSecPerEpoch, pt.AsyncSecPerEpoch)
 	}
 	fmt.Fprintf(stdout, "; monotonic dec: %d\n", rep.LocalSGD.WallMonotonicDec)
+	fmt.Fprintf(stdout, "hetero split (K=%d):", rep.Hetero.CPUWorkers)
+	for _, pt := range rep.Hetero.Sweep {
+		fmt.Fprintf(stdout, " stretch=%g gpu %.2f->%.2f (shift@%d, adaptive %.3g vs static %.3g s/epoch)",
+			pt.GPUStretch, pt.StartGPUFrac, pt.FinalGPUFrac, pt.ShiftEpochs,
+			pt.AdaptiveSecPerEpoch, pt.StaticSecPerEpoch)
+	}
+	fmt.Fprintf(stdout, "; adaptive beats static: %d, shift within 5: %d\n",
+		rep.Hetero.AdaptiveBeatsStatic, rep.Hetero.ShiftWithin5)
 
 	if *compare != "" {
 		gate, err := regress.CompareBenchFiles(*compare, *out, nil)

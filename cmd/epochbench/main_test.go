@@ -46,6 +46,20 @@ func TestRunTinyReport(t *testing.T) {
 			t.Errorf("sweep point %d did not run: %+v", i, pt)
 		}
 	}
+	// The hetero split sweep runs at a fixed gate scale, so its modeled
+	// numbers and both gated flags must hold even on a -tiny run.
+	if len(rep.Hetero.Sweep) != 3 || rep.Hetero.AdaptiveBeatsStatic != 1 || rep.Hetero.ShiftWithin5 != 1 {
+		t.Errorf("hetero split sweep broken: %+v", rep.Hetero)
+	}
+	for i, pt := range rep.Hetero.Sweep {
+		if pt.AdaptiveSecPerEpoch <= 0 || pt.StaticSecPerEpoch <= 0 || pt.FinalGPUFrac <= 0 {
+			t.Errorf("hetero sweep point %d did not run: %+v", i, pt)
+		}
+	}
+	strongest := rep.Hetero.Sweep[len(rep.Hetero.Sweep)-1]
+	if strongest.ShiftEpochs < 1 || strongest.ShiftEpochs > 5 {
+		t.Errorf("strongest-skew shift epoch %d outside [1,5]", strongest.ShiftEpochs)
+	}
 	// The allocation pins hold at any scale: the steady-state gradient and
 	// dispatch paths are allocation-free by design.
 	if rep.Dispatch.PoolAllocs != 0 || rep.Allocs.LRBatchGrad != 0 {

@@ -15,7 +15,8 @@
 //	sgdchaos -list
 //
 // By default the paper's 8-engine matrix plus the two Local-SGD configs
-// (local-sync/local-async, see internal/core) run sequentially under the
+// (local-sync/local-async) and the two heterogeneous CPU+GPU configs
+// (hetero-sync/hetero-async, see internal/core) run sequentially under the
 // virtual-time scheduler, so the report is exactly reproducible for a given
 // -seed. -deadline arms the synchronous engines' straggler mitigation (the
 // barrier fires at deadline x the healthy epoch and the update lands scaled
@@ -54,8 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tol         = fs.Float64("tol", 0.1, "loss-gap tolerance defining each config's threshold")
 		intensities = fs.String("intensities", "", "comma-separated plan intensity multipliers (default 1)")
 		out         = fs.String("out", "-", "write the report JSON to this path (- = stdout)")
-		strategies  = fs.String("strategies", "", "comma filter on matrix strategies (sync,async,local-sync,local-async)")
-		devices     = fs.String("devices", "", "comma filter on matrix devices (cpu-par,gpu)")
+		strategies  = fs.String("strategies", "", "comma filter on matrix strategies (sync,async,local-sync,local-async,hetero-sync,hetero-async)")
+		devices     = fs.String("devices", "", "comma filter on matrix devices (cpu-par,gpu,cpu+gpu)")
 		datasets    = fs.String("datasets", "", "comma filter on matrix datasets (covtype,w8a)")
 		maxN        = fs.Int("maxn", 0, "override per-config example count (0 = matrix default)")
 		epochs      = fs.Int("epochs", 0, "override per-config epoch budget (0 = matrix default)")
@@ -102,9 +103,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Epochs:     *epochs,
 		Threads:    *threads,
 	}
-	// The ladder covers the paper's 8-way cube plus the Local-SGD tier; the
-	// parameter-server configs have their own chaos path in cmd/sgdps.
+	// The ladder covers the paper's 8-way cube plus the Local-SGD and
+	// heterogeneous CPU+GPU tiers; the parameter-server configs have their
+	// own chaos path in cmd/sgdps.
 	matrix := append(regress.DefaultMatrix(), regress.LocalMatrix()...)
+	matrix = append(matrix, regress.HeteroMatrix()...)
 	configs, err := filter.Apply(matrix)
 	if err != nil {
 		fmt.Fprintf(stderr, "sgdchaos: %v\n", err)

@@ -1,9 +1,10 @@
 // Command sgdgate is the regression gate for the engine matrix: it re-runs
 // every configuration of the paper's sync/async × CPU/GPU × dense/sparse
-// cube, plus the sharded parameter-server tier, at a small seeded scale and
-// checks the convergence curves against committed goldens (deterministic
-// engines) or quantile envelopes (asynchronous engines), plus a noise-aware
-// diff of the epochbench performance report against its committed baseline.
+// cube, plus the sharded parameter-server, Local-SGD and heterogeneous
+// CPU+GPU tiers (14 configs in all), at a small seeded scale and checks the
+// convergence curves against committed goldens (deterministic engines) or
+// quantile envelopes (asynchronous engines), plus a noise-aware diff of the
+// epochbench performance report against its committed baseline.
 //
 // Subcommands:
 //

@@ -163,7 +163,7 @@ func TestSyncChaosDeadline(t *testing.T) {
 
 // countRec counts counter adds.
 type countRec struct {
-	counts [32]int64
+	counts [48]int64
 }
 
 func (r *countRec) Phase(obs.Phase, float64)    {}

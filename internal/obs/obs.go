@@ -177,6 +177,26 @@ const (
 	// CounterLocalStalenessSum / CounterLocalRounds is the mean per-round
 	// drift across the replica set.
 	CounterLocalStalenessSum
+	// CounterHeteroCPUBatches counts batches the heterogeneous co-training
+	// engines (internal/core HeteroEngine / HeteroAsyncEngine) assigned to
+	// the CPU worker pool in one epoch.
+	CounterHeteroCPUBatches
+	// CounterHeteroGPUBatches counts batches the heterogeneous engines
+	// dispatched to the simulated GPU in one epoch.
+	CounterHeteroGPUBatches
+	// CounterHeteroMerges counts weight-stream merges the heterogeneous
+	// engines performed: one end-of-epoch weighted average in sync mode, one
+	// apply-on-arrival blend per completed batch in async mode.
+	CounterHeteroMerges
+	// CounterHeteroCPUStalenessSum accumulates, over the async engine's CPU
+	// merges, the number of GPU merges published since the CPU stream last
+	// synchronised — how far behind the shared vector the CPU's private
+	// weights had drifted at each blend.
+	CounterHeteroCPUStalenessSum
+	// CounterHeteroGPUStalenessSum is the mirror image: CPU merges published
+	// between consecutive GPU blends. The two sums divided by
+	// CounterHeteroMerges give the mean cross-backend staleness.
+	CounterHeteroGPUStalenessSum
 	numCounters
 )
 
@@ -241,6 +261,16 @@ func (c Counter) String() string {
 		return "local_rounds"
 	case CounterLocalStalenessSum:
 		return "local_staleness_sum"
+	case CounterHeteroCPUBatches:
+		return "hetero_cpu_batches"
+	case CounterHeteroGPUBatches:
+		return "hetero_gpu_batches"
+	case CounterHeteroMerges:
+		return "hetero_merges"
+	case CounterHeteroCPUStalenessSum:
+		return "hetero_cpu_staleness_sum"
+	case CounterHeteroGPUStalenessSum:
+		return "hetero_gpu_staleness_sum"
 	}
 	return "unknown"
 }
@@ -282,6 +312,10 @@ const (
 	// serving layer's own histogram, this distribution carries
 	// count/sum/min/max into traces.
 	MetricServeLatency
+	// MetricHeteroGPUShare is the realised fraction of an epoch's batches
+	// the heterogeneous engines ran on the GPU backend — the adaptive split
+	// ratio as actually executed, one observation per epoch.
+	MetricHeteroGPUShare
 	numMetrics
 )
 
@@ -302,6 +336,8 @@ func (m Metric) String() string {
 		return "serve_queue_depth"
 	case MetricServeLatency:
 		return "serve_latency_seconds"
+	case MetricHeteroGPUShare:
+		return "hetero_gpu_share"
 	}
 	return "unknown"
 }

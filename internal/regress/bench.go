@@ -89,6 +89,14 @@ func DefaultBenchRules() []BenchRule {
 		// of the cost model, so the flag is machine-independent and gated
 		// exactly at every size class.
 		{Metric: "localsgd_hsweep.wall_monotonic_dec", Kind: RuleExact, Value: 1},
+		// Heterogeneous split sweep (PR 10): at the sweep's strongest GPU
+		// skew the adaptive estimator must move >= 20% of the batch stream
+		// within 5 epochs and the adapted split must beat a static 50/50.
+		// The sweep runs at a fixed gate scale in every size class and all
+		// quantities are modeled, so both flags are machine-independent and
+		// gated exactly like the H-sweep's monotonicity flag.
+		{Metric: "hetero_split.shift_within_5", Kind: RuleExact, Value: 1},
+		{Metric: "hetero_split.adaptive_beats_static", Kind: RuleExact, Value: 1},
 		// Wall-clock regressions, ratio vs baseline on comparable runs.
 		{Metric: "small_kernel_epoch.pool_ns_op", Kind: RuleRatio, Value: 2.0},
 		{Metric: "spmv.balanced_ns_op", Kind: RuleRatio, Value: 2.0},

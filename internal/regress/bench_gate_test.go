@@ -21,7 +21,8 @@ func benchJSON(short bool, poolAllocs int, speedup, skew float64, poolNs int) []
 		"steady_state_allocs_per_op": {"lr_batchgrad": 0, "svm_batchgrad": 0, "spmvt": 0,
 			"quant_spmv": 0, "striped_epoch": 0},
 		"builder_build_ns_op": 9000000,
-		"localsgd_hsweep": {"replicas": 8, "wall_monotonic_dec": 1}
+		"localsgd_hsweep": {"replicas": 8, "wall_monotonic_dec": 1},
+		"hetero_split": {"cpu_workers": 8, "shift_within_5": 1, "adaptive_beats_static": 1}
 	}`, short, poolNs, speedup, poolAllocs, skew, skew)
 }
 

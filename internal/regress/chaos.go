@@ -219,7 +219,7 @@ func abs(x float64) float64 {
 // isSyncStrategy classifies a strategy for the contrast summary. Explicit
 // equality, not a suffix test: strings.HasSuffix("async", "sync") is true.
 func isSyncStrategy(s string) bool {
-	return s == "sync" || s == "ps-sync" || s == "local-sync"
+	return s == "sync" || s == "ps-sync" || s == "local-sync" || s == "hetero-sync"
 }
 
 // Degradation runs the whole config set under the plan and summarises the

@@ -38,12 +38,16 @@ import (
 // field.
 type Config struct {
 	// Strategy is "sync" or "async" for the in-process engines,
-	// "ps-sync" / "ps-async" for the sharded parameter-server tier, or
-	// "local-sync" / "local-async" for the Local-SGD replica family.
+	// "ps-sync" / "ps-async" for the sharded parameter-server tier,
+	// "local-sync" / "local-async" for the Local-SGD replica family, or
+	// "hetero-sync" / "hetero-async" for the heterogeneous CPU+GPU
+	// co-training engines.
 	Strategy string `json:"strategy"`
 	// Device is "cpu-seq", "cpu-par" or "gpu"; the ps strategies run on
-	// "cluster" (N workers pulling/pushing against a sharded server) and
-	// the local strategies on "cpu-par" (Threads = replica count).
+	// "cluster" (N workers pulling/pushing against a sharded server), the
+	// local strategies on "cpu-par" (Threads = replica count), and the
+	// hetero strategies on "cpu+gpu" (Threads = CPU replica count, the GPU
+	// side sized by occupancy).
 	Device string `json:"device"`
 	// Task is the model: "lr" or "svm" (the dense/sparse axis comes from
 	// the dataset).
@@ -80,11 +84,14 @@ type Config struct {
 // between its averaging rounds; every asynchronous engine is gated
 // statistically, because with enough host cores its races are real
 // (local-async replays exactly per seed but draws a fresh schedule per
-// seed, so its multi-seed envelope is the meaningful gate). Note the
-// explicit equality — strings.HasSuffix would also match
-// "async"/"ps-async"/"local-async".
+// seed, so its multi-seed envelope is the meaningful gate). Synchronous
+// heterogeneous co-training is deterministic despite overlapping its two
+// backends — they write disjoint private vectors and merge in a fixed fold
+// order. Note the explicit equality — strings.HasSuffix would also match
+// "async"/"ps-async"/"local-async"/"hetero-async".
 func (c Config) Deterministic() bool {
-	return c.Strategy == "sync" || c.Strategy == "ps-sync" || c.Strategy == "local-sync"
+	return c.Strategy == "sync" || c.Strategy == "ps-sync" ||
+		c.Strategy == "local-sync" || c.Strategy == "hetero-sync"
 }
 
 // Fingerprint returns the golden-file key for this config.
@@ -108,6 +115,10 @@ func (c Config) deviceName() string {
 		// granularity (see LocalSGDEngine.Name), both of which change the
 		// gated curve.
 		return fmt.Sprintf("cpu-par(%d)h%d", c.Threads, c.H)
+	case c.Strategy == "hetero-sync" || c.Strategy == "hetero-async":
+		// The heterogeneous engines render the CPU replica count (see
+		// HeteroEngine.Name); the GPU side is implied by the device.
+		return fmt.Sprintf("cpu+gpu(%d)", c.Threads)
 	case c.Device == "cpu-par":
 		return fmt.Sprintf("cpu-par(%d)", c.Threads)
 	case c.Device == "cluster":
@@ -184,6 +195,14 @@ func (c Config) Build() (core.Engine, model.Model, *data.Dataset, error) {
 			return core.NewLocalSGD(m, ds, c.Step, c.Threads, c.H), m, ds, nil
 		}
 		return core.NewAsyncLocalSGD(m, ds, c.Step, c.Threads, c.H), m, ds, nil
+	case "hetero-sync", "hetero-async":
+		if c.Device != "cpu+gpu" {
+			return nil, nil, nil, fmt.Errorf("regress: strategy %q requires the cpu+gpu device, got %q", c.Strategy, c.Device)
+		}
+		if c.Strategy == "hetero-sync" {
+			return core.NewHetero(m, ds, c.Step, c.Threads), m, ds, nil
+		}
+		return core.NewHeteroAsync(m, ds, c.Step, c.Threads), m, ds, nil
 	default:
 		return nil, nil, nil, fmt.Errorf("regress: unknown strategy %q", c.Strategy)
 	}
@@ -300,9 +319,42 @@ func LocalMatrix() []Config {
 	return out
 }
 
+// HeteroMatrix is the heterogeneous CPU+GPU co-training family at gate
+// scale: 8 CPU replicas co-training with the simulated K80, splitting each
+// epoch's shuffled batches by the adaptive throughput ratio. w8a keeps the
+// steps sparse, matching the Local-SGD tier whose merge discipline the sync
+// engine shares. hetero-sync overlaps the backends but merges in a fixed
+// fold order, so it is deterministic and gated on an exact golden;
+// hetero-async blends apply-on-arrival on the virtual-time sequencer —
+// replayable per seed, rescheduled across seeds — and carries an envelope.
+func HeteroMatrix() []Config {
+	var out []Config
+	for _, strategy := range []string{"hetero-sync", "hetero-async"} {
+		c := Config{
+			Strategy: strategy,
+			Device:   "cpu+gpu",
+			Task:     "lr",
+			Dataset:  "w8a",
+			N:        400,
+			Threads:  8, // CPU replicas
+			Step:     0.5,
+			Epochs:   12,
+			Seeds:    5,
+			BaseSeed: 1,
+		}
+		if strategy == "hetero-sync" {
+			c.Seeds = 1
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // FullMatrix is every gated configuration: the paper's in-process cube, the
-// parameter-server tier, and the Local-SGD family.
+// parameter-server tier, the Local-SGD family, and the heterogeneous
+// CPU+GPU family.
 func FullMatrix() []Config {
 	out := append(DefaultMatrix(), PSMatrix()...)
-	return append(out, LocalMatrix()...)
+	out = append(out, LocalMatrix()...)
+	return append(out, HeteroMatrix()...)
 }

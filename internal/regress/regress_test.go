@@ -7,15 +7,15 @@ import (
 
 const goldenDir = "testdata/golden"
 
-// All 12 gated configurations — the paper's 8-way cube, the two
-// parameter-server tiers, and the two Local-SGD configs — must have a
-// committed golden of the right discipline: exact curves for the
-// deterministic synchronous engines, quantile envelopes for the
-// asynchronous ones.
+// All 14 gated configurations — the paper's 8-way cube, the two
+// parameter-server tiers, the two Local-SGD configs, and the two
+// heterogeneous CPU+GPU configs — must have a committed golden of the right
+// discipline: exact curves for the deterministic synchronous engines,
+// quantile envelopes for the asynchronous ones.
 func TestMatrixFullyCovered(t *testing.T) {
 	configs := FullMatrix()
-	if len(configs) != 12 {
-		t.Fatalf("full matrix has %d configs, want the paper's 8 plus 2 ps tiers plus 2 local-sgd", len(configs))
+	if len(configs) != 14 {
+		t.Fatalf("full matrix has %d configs, want the paper's 8 plus 2 ps tiers plus 2 local-sgd plus 2 hetero", len(configs))
 	}
 	for _, c := range configs {
 		key := c.Fingerprint().Key()
